@@ -1,0 +1,27 @@
+"""A-3 — ablation: dropping insignificant barrier points.
+
+Section VI-C: the paper keeps every cluster because weight-based
+dropping (original BarrierPoint's optional filter) "affects the cache
+estimations significantly".
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import drop_small_ablation
+from repro.workloads.registry import create
+
+
+def test_drop_insignificant(benchmark, experiment_config):
+    result = run_once(
+        benchmark, drop_small_ablation, create("HPCG"), 8, experiment_config
+    )
+    print("\n" + result.render())
+    points = result.points
+    base = points[0]
+    aggressive = points[-1]
+    assert aggressive.k <= base.k
+    # Aggressive dropping degrades at least one cache metric noticeably.
+    base_cache = max(base.errors["l1d_misses"], base.errors["l2d_misses"])
+    dropped_cache = max(
+        aggressive.errors["l1d_misses"], aggressive.errors["l2d_misses"]
+    )
+    assert dropped_cache > base_cache

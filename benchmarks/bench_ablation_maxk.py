@@ -1,0 +1,21 @@
+"""A-2 — ablation: the clustering budget maxK."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import maxk_ablation
+from repro.workloads.registry import create
+
+
+def test_maxk_budget(benchmark, experiment_config):
+    result = run_once(
+        benchmark, maxk_ablation, create("HPCG"), 8, experiment_config
+    )
+    print("\n" + result.render())
+    ks = [p.k for p in result.points]
+    # k never exceeds its budget.
+    for point, budget in zip(result.points, (5, 10, 20, 30)):
+        assert point.k <= budget
+    # A larger budget never forces a smaller selection.
+    assert ks == sorted(ks) or max(ks) - min(ks) <= 20
+    # Errors stay bounded across budgets.
+    for point in result.points:
+        assert point.errors["cycles"] < 8.0

@@ -1,0 +1,21 @@
+"""A-4 — ablation: measurement repetitions (the paper's 20-run protocol)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import repetitions_ablation
+from repro.workloads.registry import create
+
+
+def test_measurement_repetitions(benchmark, experiment_config):
+    result = run_once(
+        benchmark, repetitions_ablation, create("LULESH"), 8, experiment_config
+    )
+    print("\n" + result.render())
+    by_setting = {p.setting: p for p in result.points}
+    one = by_setting["reps=1"]
+    twenty = by_setting["reps=20"]
+    # Averaging runs cannot hurt the noisiest app's worst metric much;
+    # single-shot measurement is visibly worse on at least one metric.
+    one_worst = max(one.errors.values())
+    twenty_worst = max(twenty.errors.values())
+    assert twenty_worst <= one_worst * 1.5
+    assert one_worst > 0

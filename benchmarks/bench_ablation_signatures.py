@@ -1,0 +1,21 @@
+"""A-1 — ablation: signature composition (BBV only / LDV only / both)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import signature_ablation
+from repro.workloads.registry import create
+
+
+def test_signature_composition(benchmark, experiment_config):
+    result = run_once(
+        benchmark, signature_ablation, create("HPCG"), 8, experiment_config
+    )
+    print("\n" + result.render())
+    by_setting = {p.setting: p for p in result.points}
+    assert set(by_setting) == {"BBV only", "LDV only", "BBV+LDV"}
+    # The combined signature must remain competitive on the performance
+    # metrics — BarrierPoint's reason for using both.
+    combined = by_setting["BBV+LDV"]
+    assert combined.errors["cycles"] < 6.0
+    assert combined.errors["instructions"] < 6.0
+    for point in result.points:
+        assert point.k >= 1

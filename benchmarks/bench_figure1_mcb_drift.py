@@ -1,0 +1,20 @@
+"""E-F1 — regenerate Figure 1 (MCB phase drift, set sensitivity)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure1
+
+
+def test_figure1_mcb_drift(benchmark, experiment_config):
+    result = run_once(benchmark, figure1.run, experiment_config)
+    print("\n" + result.render())
+
+    # The L2D MPKI grows strongly across the run (paper: ~an order of
+    # magnitude); CPI grows much more modestly (paper: ~1.4x).
+    assert result.relative_mpki[0] == 1.0
+    assert result.relative_mpki[-1] > 4.0
+    assert 1.1 < result.relative_cpi[-1] < 2.5
+    assert result.relative_mpki[-1] > result.relative_cpi[-1]
+
+    # Different equally-sized sets give different L2D errors (the
+    # paper's <1% vs 8% contrast).
+    assert result.set_a[1] <= result.set_b[1]

@@ -1,0 +1,25 @@
+"""F-1 — future work: coalescing tiny barrier points (Section VIII).
+
+The paper's proposed fix for LULESH/HPGMG-FV: grow barrier points until
+instrumentation overhead and PMU noise amortise.  The bench sweeps the
+minimum super-region size on LULESH and asserts the rescue.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import coalesce
+
+
+def test_coalescing_rescues_lulesh(benchmark, experiment_config):
+    result = run_once(benchmark, coalesce.run, experiment_config)
+    print("\n" + result.render())
+
+    baseline = result.points[0]
+    coarsest = result.points[-1]
+    assert baseline.min_instructions == 0.0
+    assert coarsest.n_regions < baseline.n_regions / 20
+
+    # Growing the regions must slash the cycle error (paper's hypothesis).
+    assert coarsest.errors["cycles"] < baseline.errors["cycles"] / 3
+    assert coarsest.errors["cycles"] < 2.0
+    # And the error should fall monotonically-ish along the sweep.
+    assert result.points[1].errors["cycles"] < baseline.errors["cycles"]

@@ -1,0 +1,18 @@
+"""F-2 — future work: in-order vs out-of-order validation (Section VIII)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import coretypes
+
+
+def test_core_type_transfer(benchmark, experiment_config):
+    result = run_once(benchmark, coretypes.run, experiment_config)
+    print("\n" + result.render())
+
+    for row in result.rows:
+        # The in-order part really is a different design point...
+        assert row.cpi_ratio > 1.3, row.app
+        # ...yet the x86-discovered selection stays representative on it.
+        assert row.in_order["cycles"] < 6.0, row.app
+        assert row.in_order["instructions"] < 6.0, row.app
+        # Same error band as the out-of-order validation (within 5pp).
+        assert abs(row.in_order["cycles"] - row.out_of_order["cycles"]) < 5.0

@@ -1,0 +1,22 @@
+"""E-LIM — Section V-B: methodology applicability limits."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import limitations
+
+
+def test_limitations(benchmark, experiment_config):
+    result = run_once(benchmark, limitations.run, experiment_config)
+    print("\n" + result.render())
+
+    # Embarrassingly parallel trio: one barrier point, no gain.
+    for app in ("PathFinder", "RSBench", "XSBench"):
+        row = result.row(app)
+        assert row.total_bps == 1
+        assert row.selected == 1
+        assert not row.offers_gain
+        assert row.cross_arch_ok
+
+    # HPGMG-FV: convergence-dependent sequences break cross-arch use.
+    hpgmg = result.row("HPGMG-FV")
+    assert not hpgmg.cross_arch_ok
+    assert "convergence differs" in hpgmg.note

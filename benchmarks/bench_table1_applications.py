@@ -1,0 +1,14 @@
+"""E-T1 — regenerate Table I (applications and inputs)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_table1_applications(benchmark):
+    result = run_once(benchmark, table1.run)
+    text = result.render()
+    print("\n" + text)
+    assert len(result.rows) == 11
+    # Inputs from the paper's Table I.
+    assert any("-s 40 -i 20" in row[2] for row in result.rows)  # LULESH
+    assert any("nx=100" in row[2] for row in result.rows)  # miniFE

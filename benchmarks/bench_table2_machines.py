@@ -1,0 +1,12 @@
+"""E-T2 — regenerate Table II (machine parameters)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2
+
+
+def test_table2_machines(benchmark):
+    result = run_once(benchmark, table2.run)
+    text = result.render()
+    print("\n" + text)
+    assert "3.4 GHz" in text and "2.4 GHz" in text
+    assert "32 KiB" in text and "256 KiB" in text and "8 MiB" in text

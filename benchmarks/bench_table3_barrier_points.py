@@ -1,0 +1,25 @@
+"""E-T3 — regenerate Table III (barrier points per application).
+
+Checks the *shape* contract: totals match the paper exactly (they are
+structural), and the min/max selected stay within sane bands around the
+paper's ranges (selection counts are stochastic).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3
+from repro.experiments.table3 import PAPER_TABLE3
+
+
+def test_table3_barrier_points(benchmark, experiment_config):
+    result = run_once(benchmark, table3.run, experiment_config)
+    print("\n" + result.render())
+
+    by_app = {row[0]: row for row in result.rows}
+    for app, (paper_total, paper_min, paper_max) in PAPER_TABLE3.items():
+        _, total, lo, hi = by_app[app]
+        assert total == paper_total, f"{app} total"
+        assert 1 <= lo <= hi <= 20, f"{app} selection range"
+    # MCB must select a small subset of its 10 barrier points.
+    assert by_app["MCB"][3] <= 5
+    # The 20-cluster cap (maxK) is respected everywhere.
+    assert max(row[3] for row in result.rows) <= 20

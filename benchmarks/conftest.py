@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one paper artefact.  The heavy cross-architecture
+sweeps go through :class:`repro.experiments.runner.StudyRunner`, which
+caches study summaries under ``.repro-cache`` — so the first run of the
+suite pays the full cost and subsequent benches reuse it.  Set
+``REPRO_SCALE=quick`` for a reduced protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import default_config
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    """The session's experiment protocol (full by default)."""
+    return default_config()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment driver with a single timed round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

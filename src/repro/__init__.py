@@ -1,0 +1,78 @@
+"""repro — cross-architectural BarrierPoint on simulated hardware.
+
+A full reproduction of Ferrerón et al., *"Crossing the Architectural
+Barrier: Evaluating Representative Regions of Parallel HPC
+Applications"* (ISPASS 2017): the BarrierPoint sampling methodology,
+evaluated across x86_64 and ARMv8 with and without vectorisation, on
+simulated stand-ins for the paper's Pin/PAPI/real-hardware toolchain.
+
+Quickstart
+----------
+>>> from repro import CrossArchStudy, create_workload
+>>> study = CrossArchStudy(create_workload("miniFE"), threads=8)
+>>> result = study.run()
+>>> result.configs["ARMv8"].report.error_pct("cycles")  # doctest: +SKIP
+0.4
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison of every table and figure.
+"""
+
+from repro.core.crossarch import ConfigResult, CrossArchResult, CrossArchStudy
+from repro.core.errors import CrossArchitectureMismatch, MethodologyError
+from repro.core.pipeline import BarrierPointPipeline, EvaluationResult, PipelineConfig
+from repro.core.selection import BarrierPointSelection
+from repro.core.validation import EstimationReport
+from repro.hw.machines import APM_XGENE, INTEL_I7_3770, Machine, machine_for
+from repro.hw.measure import MeasurementProtocol
+from repro.hw.pmu import PMU_METRICS
+from repro.isa.descriptors import ALL_BINARIES, ISA, BinaryConfig, binary_config
+from repro.util.rng import RngTree
+from repro.workloads.registry import (
+    ACCURATE_APPS,
+    EVALUATED_APPS,
+    REGISTRY,
+    SINGLE_REGION_APPS,
+    TABLE1_ORDER,
+    all_apps,
+)
+from repro.workloads.registry import create as create_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # methodology
+    "BarrierPointPipeline",
+    "PipelineConfig",
+    "EvaluationResult",
+    "BarrierPointSelection",
+    "EstimationReport",
+    "CrossArchStudy",
+    "CrossArchResult",
+    "ConfigResult",
+    "MethodologyError",
+    "CrossArchitectureMismatch",
+    # platforms
+    "Machine",
+    "INTEL_I7_3770",
+    "APM_XGENE",
+    "machine_for",
+    "MeasurementProtocol",
+    "PMU_METRICS",
+    # ISAs
+    "ISA",
+    "BinaryConfig",
+    "binary_config",
+    "ALL_BINARIES",
+    # workloads
+    "create_workload",
+    "all_apps",
+    "REGISTRY",
+    "TABLE1_ORDER",
+    "EVALUATED_APPS",
+    "ACCURATE_APPS",
+    "SINGLE_REGION_APPS",
+    # utilities
+    "RngTree",
+]

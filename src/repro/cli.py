@@ -1,0 +1,102 @@
+"""Command-line entry point: ``repro <experiment>``.
+
+Regenerates any of the paper's tables/figures from the terminal::
+
+    repro table1          # applications (Table I)
+    repro table2          # machines (Table II)
+    repro table3          # barrier points per app (Table III)
+    repro table4          # 8-thread errors and speed-ups (Table IV)
+    repro figure1         # MCB phase drift (Figure 1)
+    repro figure2         # error grid behind Figures 2a-2g
+    repro variability     # Section V-C variability/overhead
+    repro limitations     # Section V-B applicability
+    repro coalesce        # future work: barrier-point coalescing
+    repro coretypes       # future work: in-order vs out-of-order
+    repro list            # workload registry
+
+``--quick`` shrinks the protocol (3 discovery runs, 5 repetitions) for a
+fast look; the default reproduces the paper's 10 × 20 protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import coalesce, coretypes, figure1, figure2, limitations
+from repro.experiments import table1, table2, table3, table4, variability
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "variability": variability.run,
+    "limitations": limitations.run,
+    "coalesce": coalesce.run,
+    "coretypes": coretypes.run,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of the cross-architectural "
+        "BarrierPoint paper (ISPASS 2017).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["list"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use a reduced protocol (3 discovery runs, 5 repetitions)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2017, help="root random seed (default 2017)"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk study cache"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        from repro.workloads.registry import TABLE1_ORDER, create
+
+        for name in TABLE1_ORDER:
+            app = create(name)
+            print(f"{app.name:12s} {app.description}")
+        return 0
+
+    if args.quick:
+        config = ExperimentConfig(
+            thread_counts=(1, 8),
+            discovery_runs=3,
+            repetitions=5,
+            seed=args.seed,
+            cache_dir="" if args.no_cache else ".repro-cache",
+        )
+    else:
+        config = ExperimentConfig(
+            seed=args.seed, cache_dir="" if args.no_cache else ".repro-cache"
+        )
+
+    result = _EXPERIMENTS[args.experiment](config)
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""SimPoint 3.2-equivalent clustering machinery.
+
+BarrierPoint feeds its signature vectors to the SimPoint toolkit:
+random-project to ~15 dimensions, run k-means for k = 1..maxK, score
+each k with the Bayesian Information Criterion, and keep the smallest k
+whose BIC reaches a fixed fraction of the best score.  This package
+implements that pipeline from scratch (no sklearn):
+
+* :mod:`repro.clustering.projection` — seeded Gaussian random projection.
+* :mod:`repro.clustering.kmeans` — weighted k-means with k-means++
+  seeding and empty-cluster reseeding.
+* :mod:`repro.clustering.bic` — the Pelleg-Moore style spherical
+  Gaussian BIC used by SimPoint.
+* :mod:`repro.clustering.simpoint` — the k sweep and selection rule.
+"""
+
+from repro.clustering.bic import bic_score
+from repro.clustering.kmeans import KMeansResult, kmeans
+from repro.clustering.projection import random_projection
+from repro.clustering.simpoint import ClusteringChoice, SimPointOptions, run_simpoint
+
+__all__ = [
+    "random_projection",
+    "KMeansResult",
+    "kmeans",
+    "bic_score",
+    "SimPointOptions",
+    "ClusteringChoice",
+    "run_simpoint",
+]

@@ -1,0 +1,76 @@
+"""Bayesian Information Criterion scoring for k-means models.
+
+SimPoint selects the number of clusters by scoring each k-means
+clustering with the BIC under a spherical Gaussian mixture model
+(the X-means formulation of Pelleg & Moore, which SimPoint 3.2 adopts)
+and keeping the smallest k that achieves a fixed fraction of the best
+observed score.  This module provides the (weighted) score; the
+selection rule lives in :mod:`repro.clustering.simpoint`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.kmeans import KMeansResult
+
+__all__ = ["bic_score"]
+
+
+def bic_score(
+    data: np.ndarray,
+    result: KMeansResult,
+    weights: np.ndarray | None = None,
+) -> float:
+    """BIC of a clustering; larger is better.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` points the clustering was computed on.
+    result:
+        A converged :class:`~repro.clustering.kmeans.KMeansResult`.
+    weights:
+        Optional point weights; the effective sample size then becomes
+        the total weight, mirroring the weighted k-means objective.
+
+    Notes
+    -----
+    Log-likelihood of the spherical mixture with MLE variance
+    ``sigma2 = inertia / (d * (R - k))``::
+
+        ll = sum_i R_i log(R_i / R) - (R * d / 2) log(2 pi sigma2) - (R - k) * d / 2
+
+    and ``BIC = ll - (p / 2) log R`` with ``p = k (d + 1)`` free
+    parameters.
+    """
+    data = np.asarray(data, dtype=float)
+    n, d = data.shape
+    if weights is None:
+        weights = np.ones(n)
+    else:
+        weights = np.asarray(weights, dtype=float)
+
+    k = result.k
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+
+    cluster_weight = np.bincount(result.labels, weights=weights, minlength=k)
+    occupied = cluster_weight > 0
+
+    dof = max(total - k, 1e-9)
+    # Variance floor: signatures carry finite measurement precision, so a
+    # clustering can never legitimately explain them to zero variance.
+    # Without the floor, k == n degenerates (sigma2 -> 0, BIC -> +inf).
+    scale = float((data**2).sum(axis=1).mean())
+    sigma2 = max(result.inertia / (d * dof), 1e-7 * scale, 1e-30)
+
+    ll = float(
+        (cluster_weight[occupied] * np.log(cluster_weight[occupied] / total)).sum()
+    )
+    ll -= 0.5 * total * d * np.log(2.0 * np.pi * sigma2)
+    ll -= 0.5 * (total - k) * d
+
+    n_params = k * (d + 1)
+    return ll - 0.5 * n_params * np.log(total)

@@ -1,0 +1,157 @@
+"""Weighted k-means with k-means++ seeding.
+
+Barrier points differ wildly in size (miniFE's dominant matvec region
+versus its tiny dot products), so the clustering weighs each signature
+by the instructions its barrier point executes — a small, fast region
+should not pull a centroid as hard as the region that dominates runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Converged k-means state.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` cluster index per point.
+    centers:
+        ``(k, d)`` centroids.
+    inertia:
+        Weighted sum of squared distances to assigned centroids.
+    iterations:
+        Lloyd iterations performed.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return int(self.centers.shape[0])
+
+
+def _squared_distances(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """``(n, k)`` squared Euclidean distances (BLAS-friendly form)."""
+    d2 = (
+        (data**2).sum(axis=1)[:, None]
+        - 2.0 * data @ centers.T
+        + (centers**2).sum(axis=1)[None, :]
+    )
+    return np.maximum(d2, 0.0)
+
+
+def _kmeanspp_init(
+    data: np.ndarray, weights: np.ndarray, k: int, gen: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding with probability ∝ weight × squared distance."""
+    n = data.shape[0]
+    centers = np.empty((k, data.shape[1]))
+    first = gen.choice(n, p=weights / weights.sum())
+    centers[0] = data[first]
+    closest = _squared_distances(data, centers[:1])[:, 0]
+    for j in range(1, k):
+        scores = weights * closest
+        total = scores.sum()
+        if total <= 0:  # all points coincide with chosen centers
+            idx = int(gen.integers(0, n))
+        else:
+            idx = int(gen.choice(n, p=scores / total))
+        centers[j] = data[idx]
+        closest = np.minimum(closest, _squared_distances(data, centers[j : j + 1])[:, 0])
+    return centers
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    gen: np.random.Generator,
+    weights: np.ndarray | None = None,
+    n_init: int = 3,
+    max_iter: int = 40,
+    tol: float = 1e-7,
+) -> KMeansResult:
+    """Cluster ``data`` into ``k`` groups, best of ``n_init`` restarts.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` points (already projected).
+    k:
+        Cluster count; must not exceed ``n``.
+    gen:
+        Seeded generator for initialisation.
+    weights:
+        Optional ``(n,)`` non-negative point weights (instruction
+        counts); defaults to uniform.
+    n_init / max_iter / tol:
+        Restart count, Lloyd iteration cap, and relative inertia
+        improvement below which iteration stops.
+    """
+    data = np.asarray(data, dtype=float)
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if weights is None:
+        weights = np.ones(n)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (n,) or np.any(weights < 0) or weights.sum() == 0:
+            raise ValueError("weights must be (n,) non-negative with positive sum")
+
+    best: KMeansResult | None = None
+    for _ in range(max(n_init, 1)):
+        result = _lloyd(data, weights, k, gen, max_iter, tol)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best
+
+
+def _lloyd(
+    data: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    gen: np.random.Generator,
+    max_iter: int,
+    tol: float,
+) -> KMeansResult:
+    centers = _kmeanspp_init(data, weights, k, gen)
+    labels = np.zeros(data.shape[0], dtype=np.int64)
+    prev_inertia = np.inf
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        d2 = _squared_distances(data, centers)
+        labels = d2.argmin(axis=1)
+        inertia = float((weights * d2[np.arange(data.shape[0]), labels]).sum())
+
+        for j in range(k):
+            mask = labels == j
+            cluster_weight = weights[mask].sum()
+            if cluster_weight > 0:
+                centers[j] = (weights[mask, None] * data[mask]).sum(axis=0) / cluster_weight
+            else:
+                # Reseed an empty cluster at the point farthest from its center.
+                farthest = int(d2.min(axis=1).argmax())
+                centers[j] = data[farthest]
+
+        if prev_inertia - inertia <= tol * max(prev_inertia, 1e-30):
+            prev_inertia = inertia
+            break
+        prev_inertia = inertia
+
+    d2 = _squared_distances(data, centers)
+    labels = d2.argmin(axis=1)
+    inertia = float((weights * d2[np.arange(data.shape[0]), labels]).sum())
+    return KMeansResult(labels=labels, centers=centers, inertia=inertia, iterations=iteration)

@@ -1,0 +1,47 @@
+"""Seeded Gaussian random projection.
+
+SimPoint projects high-dimensional basic-block vectors down to ~15
+dimensions before clustering; the Johnson-Lindenstrauss lemma guarantees
+pairwise distances survive with small distortion, and the projection
+makes the k-means sweep cheap regardless of how many static blocks an
+application has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_projection"]
+
+
+def random_projection(
+    data: np.ndarray, dims: int, gen: np.random.Generator
+) -> np.ndarray:
+    """Project rows of ``data`` to ``dims`` dimensions.
+
+    Parameters
+    ----------
+    data:
+        ``(n, D)`` matrix of signatures.
+    dims:
+        Target dimensionality (SimPoint's default region is ~15).  If
+        ``D <= dims`` the data is returned unchanged (already small).
+    gen:
+        Seeded generator; different discovery runs use different
+        projections, one source of the run-to-run selection variation.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, dims)`` projected matrix.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    if dims < 1:
+        raise ValueError(f"dims must be >= 1, got {dims}")
+    n_features = data.shape[1]
+    if n_features <= dims:
+        return data.copy()
+    matrix = gen.standard_normal((n_features, dims)) / np.sqrt(dims)
+    return data @ matrix

@@ -1,0 +1,46 @@
+"""The paper's contribution: cross-architectural BarrierPoint.
+
+Workflow (Section V-A), mapped to modules:
+
+1. *Source instrumentation* — ROI markers and PAPI calls:
+   :mod:`repro.instrumentation.roi`, :mod:`repro.hw.papi`.
+2. *Barrier point discovery and clustering* (x86_64 only) —
+   :mod:`repro.core.signatures` (BBV ⊕ LDV signature vectors),
+   :mod:`repro.clustering` (SimPoint), :mod:`repro.core.selection`
+   (representatives + multipliers).
+3. *Barrier point statistic collection* — :mod:`repro.hw.measure`.
+4. *Program behaviour reconstruction* — :mod:`repro.core.reconstruction`.
+5. *Barrier point set validation* — :mod:`repro.core.validation`.
+
+:class:`repro.core.pipeline.BarrierPointPipeline` wires steps together
+for one (application, threads, vectorised) configuration, and
+:class:`repro.core.crossarch.CrossArchStudy` runs the paper's four-way
+comparison (x86_64 / ARMv8 × scalar / vectorised) for one application.
+"""
+
+from repro.core.crossarch import ConfigResult, CrossArchResult, CrossArchStudy
+from repro.core.errors import CrossArchitectureMismatch, MethodologyError
+from repro.core.pipeline import BarrierPointPipeline, EvaluationResult, PipelineConfig
+from repro.core.reconstruction import reconstruct_per_rep, reconstruct_totals
+from repro.core.selection import BarrierPointSelection, select_barrier_points
+from repro.core.signatures import SignatureMatrix, build_signatures
+from repro.core.validation import EstimationReport, validate_estimate
+
+__all__ = [
+    "SignatureMatrix",
+    "build_signatures",
+    "BarrierPointSelection",
+    "select_barrier_points",
+    "reconstruct_totals",
+    "reconstruct_per_rep",
+    "EstimationReport",
+    "validate_estimate",
+    "MethodologyError",
+    "CrossArchitectureMismatch",
+    "PipelineConfig",
+    "BarrierPointPipeline",
+    "EvaluationResult",
+    "CrossArchStudy",
+    "CrossArchResult",
+    "ConfigResult",
+]

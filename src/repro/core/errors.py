@@ -1,0 +1,43 @@
+"""Methodology failure modes (Section V-B).
+
+Two conditions prevent the methodology from producing an estimate at
+all; both are first-class exceptions rather than silent bad numbers:
+
+* :class:`CrossArchitectureMismatch` — the barrier-point sequence
+  differs between the discovery and target architectures (HPGMG-FV's
+  convergence iterations depend on floating-point behaviour, so x86_64
+  executes a different number of parallel regions than ARMv8).  The
+  x86-derived selection simply has no meaning on the target.
+
+The *single parallel region* limitation (RSBench, XSBench, PathFinder)
+is not an error — the selection is trivially representative — so it is
+surfaced as :attr:`BarrierPointSelection.offers_gain` instead.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MethodologyError", "CrossArchitectureMismatch"]
+
+
+class MethodologyError(RuntimeError):
+    """Base class for conditions that invalidate the methodology."""
+
+
+class CrossArchitectureMismatch(MethodologyError):
+    """Barrier-point sequences differ between discovery and target.
+
+    Attributes
+    ----------
+    source_count / target_count:
+        Barrier points observed on the discovery and target platforms.
+    """
+
+    def __init__(self, app: str, source_count: int, target_count: int) -> None:
+        self.app = app
+        self.source_count = source_count
+        self.target_count = target_count
+        super().__init__(
+            f"{app}: {source_count} barrier points on the discovery "
+            f"architecture but {target_count} on the target; parallel "
+            f"sections do not match, representativeness cannot be measured"
+        )

@@ -1,0 +1,141 @@
+"""Barrier-point selection: representatives and multipliers.
+
+After clustering, one barrier point per cluster — the one closest to the
+centroid — represents the cluster in simulation.  Its *multiplier* is
+the ratio of the cluster's total instruction weight to the
+representative's own weight: scaling the representative's counters by it
+estimates the whole cluster's contribution, which is exactly Step 4's
+reconstruction rule.
+
+The paper keeps **all** clusters rather than dropping low-weight ones:
+Section VI-C reports that discarding insignificant barrier points (as
+original BarrierPoint optionally does) "affects the cache estimations
+significantly".  The drop-small ablation bench revisits that choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.simpoint import ClusteringChoice
+
+__all__ = ["BarrierPointSelection", "select_barrier_points"]
+
+
+@dataclass(frozen=True)
+class BarrierPointSelection:
+    """One barrier point set (the unit Table III counts min/max over).
+
+    Attributes
+    ----------
+    representatives:
+        ``(k,)`` barrier-point indices, one per cluster.
+    multipliers:
+        ``(k,)`` weight ratios scaling each representative's counters.
+    labels:
+        ``(n_bp,)`` cluster assignment of every barrier point.
+    weights:
+        ``(n_bp,)`` instruction weights used for the accounting columns.
+    run_index:
+        Discovery run that produced this set.
+    """
+
+    representatives: np.ndarray
+    multipliers: np.ndarray
+    labels: np.ndarray
+    weights: np.ndarray
+    run_index: int
+
+    def __post_init__(self) -> None:
+        if self.representatives.shape != self.multipliers.shape:
+            raise ValueError("representatives and multipliers must align")
+        if self.labels.shape != self.weights.shape:
+            raise ValueError("labels and weights must align")
+
+    @property
+    def k(self) -> int:
+        """Number of selected barrier points ('BPs Selected' in Table IV)."""
+        return int(self.representatives.size)
+
+    @property
+    def n_barrier_points(self) -> int:
+        """Total dynamic barrier points ('Total' in Table III)."""
+        return int(self.labels.size)
+
+    @property
+    def bp_fraction(self) -> float:
+        """Fraction of barrier points selected (Table IV column a)."""
+        return self.k / self.n_barrier_points
+
+    @property
+    def selected_instruction_fraction(self) -> float:
+        """Fraction of instructions in the selected set (Table IV 'Total')."""
+        return float(self.weights[self.representatives].sum() / self.weights.sum())
+
+    @property
+    def largest_instruction_fraction(self) -> float:
+        """Largest representative's instruction share (Table IV 'Largest BP')."""
+        return float(self.weights[self.representatives].max() / self.weights.sum())
+
+    @property
+    def speedup(self) -> float:
+        """Simulation speed-up from the instruction reduction (footnote d)."""
+        return 1.0 / self.selected_instruction_fraction
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Upper-bound speed-up if representatives simulate in parallel
+        (footnote c: bounded by the largest barrier point)."""
+        return 1.0 / self.largest_instruction_fraction
+
+    @property
+    def offers_gain(self) -> bool:
+        """False for the single-parallel-region limitation of Section V-B
+        (RSBench, XSBench, PathFinder): the whole core loop must run."""
+        return self.n_barrier_points > 1 and self.selected_instruction_fraction < 0.999
+
+
+def select_barrier_points(
+    choice: ClusteringChoice, weights: np.ndarray, run_index: int = 0
+) -> BarrierPointSelection:
+    """Pick representatives and multipliers from a clustering.
+
+    Parameters
+    ----------
+    choice:
+        SimPoint output (labels, centroids, projected coordinates).
+    weights:
+        ``(n_bp,)`` instruction weights from the discovery run.
+    run_index:
+        Provenance tag.
+    """
+    weights = np.asarray(weights, dtype=float)
+    labels = choice.result.labels
+    projected = choice.projected
+    centers = choice.result.centers
+
+    representatives = []
+    multipliers = []
+    for cluster in range(choice.result.k):
+        members = np.flatnonzero(labels == cluster)
+        if members.size == 0:
+            continue
+        dist = ((projected[members] - centers[cluster]) ** 2).sum(axis=1)
+        rep = int(members[int(dist.argmin())])
+        cluster_weight = float(weights[members].sum())
+        rep_weight = float(weights[rep])
+        if rep_weight <= 0:
+            raise ValueError(f"representative {rep} has non-positive weight")
+        representatives.append(rep)
+        multipliers.append(cluster_weight / rep_weight)
+
+    order = np.argsort(representatives)
+    return BarrierPointSelection(
+        representatives=np.asarray(representatives, dtype=np.int64)[order],
+        multipliers=np.asarray(multipliers, dtype=float)[order],
+        labels=labels.copy(),
+        weights=weights.copy(),
+        run_index=run_index,
+    )

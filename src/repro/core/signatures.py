@@ -1,0 +1,78 @@
+"""Signature Vectors: BBV ⊕ LDV.
+
+Step 2 of the workflow "combine[s] the BBV and LDV into Signature
+Vectors (SV)".  Each half is row-normalised (a signature describes *how*
+a barrier point behaves; its *size* enters separately as the clustering
+weight), then concatenated with a configurable balance.  The default
+weighs both halves equally; the signature-composition ablation
+(``benchmarks/bench_ablation_signatures.py``) sweeps the balance to
+BBV-only and LDV-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.instrumentation.collector import DiscoveryObservation
+
+__all__ = ["SignatureMatrix", "build_signatures"]
+
+
+def _row_normalise(matrix: np.ndarray) -> np.ndarray:
+    """L1-normalise rows; all-zero rows stay zero."""
+    totals = matrix.sum(axis=1, keepdims=True)
+    safe = np.where(totals > 0, totals, 1.0)
+    return matrix / safe
+
+
+@dataclass(frozen=True)
+class SignatureMatrix:
+    """Per-barrier-point signature vectors plus clustering weights.
+
+    Attributes
+    ----------
+    combined:
+        ``(n_bp, D_bbv + D_ldv)`` signature rows.
+    weights:
+        ``(n_bp,)`` instruction counts (Pin-exact).
+    bbv_dims / ldv_dims:
+        Split point of the two halves, for introspection and ablations.
+    """
+
+    combined: np.ndarray
+    weights: np.ndarray
+    bbv_dims: int
+    ldv_dims: int
+
+    @property
+    def n_barrier_points(self) -> int:
+        """Number of signature rows."""
+        return int(self.combined.shape[0])
+
+
+def build_signatures(
+    observation: DiscoveryObservation, bbv_weight: float = 0.5
+) -> SignatureMatrix:
+    """Combine one discovery run's BBV and LDV into signature vectors.
+
+    Parameters
+    ----------
+    observation:
+        Pintool output for this run.
+    bbv_weight:
+        Balance between the halves: 1.0 → BBV only, 0.0 → LDV only,
+        0.5 (default) → the paper's combination.
+    """
+    if not 0.0 <= bbv_weight <= 1.0:
+        raise ValueError(f"bbv_weight must be in [0, 1], got {bbv_weight}")
+    bbv = _row_normalise(observation.bbv) * bbv_weight
+    ldv = _row_normalise(observation.ldv) * (1.0 - bbv_weight)
+    combined = np.concatenate([bbv, ldv], axis=1)
+    return SignatureMatrix(
+        combined=combined,
+        weights=observation.weights,
+        bbv_dims=int(observation.bbv.shape[1]),
+        ldv_dims=int(observation.ldv.shape[1]),
+    )

@@ -1,0 +1,13 @@
+"""Experiment drivers: one module per paper artefact.
+
+Each driver regenerates one table or figure from the paper's evaluation
+(see DESIGN.md §4 for the experiment index) and renders it as an ASCII
+table/series.  Heavy cross-architecture studies are cached on disk by
+:mod:`repro.experiments.runner`, so the benchmark suite can share work
+across tables and figures.
+"""
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import StudyRunner, StudySummary
+
+__all__ = ["ExperimentConfig", "default_config", "StudyRunner", "StudySummary"]

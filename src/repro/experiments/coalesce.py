@@ -1,0 +1,152 @@
+"""Future work F-1: barrier-point coalescing study.
+
+Implements and evaluates the paper's Section VIII proposal to "adjust
+the size of barrier points so that more applications benefit from the
+BarrierPoint methodology".  For a fine-grained application (LULESH by
+default) it sweeps the minimum super-region size and reports the
+resulting estimation errors: as regions grow, per-read instrumentation
+overhead amortises away and PMU quantisation noise stops dominating, so
+the errors fall toward the well-behaved apps' band — at the cost of a
+coarser (less parallel-simulatable) partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.simpoint import run_simpoint
+from repro.core.coalesce import aggregate_observation, aggregate_values, coalesce_groups
+from repro.core.pipeline import BarrierPointPipeline
+from repro.core.reconstruction import reconstruct_totals
+from repro.core.selection import select_barrier_points
+from repro.core.signatures import build_signatures
+from repro.core.validation import EstimationReport, validate_estimate
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.hw.machines import machine_for
+from repro.hw.measure import measure_barrier_point_means, measure_roi_totals
+from repro.hw.perf import TrueCounters
+from repro.instrumentation.collector import BarrierPointCollector
+from repro.isa.descriptors import ISA
+from repro.util.tables import render_table
+from repro.workloads.registry import create
+
+__all__ = ["CoalescePoint", "CoalesceStudy", "run"]
+
+
+@dataclass(frozen=True)
+class CoalescePoint:
+    """Errors at one minimum super-region size."""
+
+    min_instructions: float
+    n_regions: int
+    k: int
+    errors: dict[str, float]
+
+
+@dataclass(frozen=True)
+class CoalesceStudy:
+    """The coalescing sweep for one application/platform."""
+
+    app: str
+    threads: int
+    isa: str
+    points: list[CoalescePoint]
+
+    def render(self) -> str:
+        """ASCII rendering of the sweep."""
+        from repro.hw.pmu import PMU_METRICS
+
+        rows = [
+            (
+                f"{p.min_instructions:.0e}" if p.min_instructions else "off",
+                p.n_regions,
+                p.k,
+                *(f"{p.errors[m]:.2f}" for m in PMU_METRICS),
+            )
+            for p in self.points
+        ]
+        return render_table(
+            ("Min region size", "Regions", "k", "cyc %", "ins %", "L1D %", "L2D %"),
+            rows,
+            title=(
+                f"Future work: coalescing {self.app} barrier points "
+                f"({self.threads} threads, {self.isa})"
+            ),
+        )
+
+
+def _evaluate_grouped(
+    pipeline: BarrierPointPipeline,
+    groups: np.ndarray,
+    isa: ISA,
+) -> tuple[EstimationReport, int]:
+    """Discovery + evaluation on the coalesced partition."""
+    machine = machine_for(isa)
+    x86_counters = pipeline.counters(ISA.X86_64)
+    collector = BarrierPointCollector(
+        pipeline._tree.child("coalesce-discovery", pipeline.app.name, pipeline.threads)
+    )
+    observation = aggregate_observation(
+        collector.collect(pipeline.trace(ISA.X86_64), x86_counters, 0), groups
+    )
+    signatures = build_signatures(observation, pipeline.config.bbv_weight)
+    gen = pipeline._tree.generator(
+        "coalesce-simpoint", pipeline.app.name, pipeline.threads
+    )
+    choice = run_simpoint(
+        signatures.combined, signatures.weights, gen, pipeline.config.simpoint
+    )
+    selection = select_barrier_points(choice, signatures.weights)
+
+    # Target-side measurement: true counters per *group*, one read each.
+    target = pipeline.counters(isa)
+    grouped_values = aggregate_values(target.values, groups)
+    grouped_counters = TrueCounters(
+        values=grouped_values, trace=target.trace, machine_name=machine.name
+    )
+    rng = pipeline._tree.child(
+        "coalesce-measure", pipeline.app.name, pipeline.threads, isa.value
+    )
+    measured = measure_barrier_point_means(
+        grouped_counters, machine, pipeline.config.protocol, rng
+    )
+    reference = measure_roi_totals(
+        grouped_counters, machine, pipeline.config.protocol, rng
+    )
+    estimate = reconstruct_totals(selection, measured)
+    return validate_estimate(estimate, reference), selection.k
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    app_name: str = "LULESH",
+    threads: int = 8,
+    isa: ISA = ISA.X86_64,
+    thresholds: tuple[float, ...] = (0.0, 1e6, 5e6, 2e7),
+) -> CoalesceStudy:
+    """Sweep the minimum super-region size on a fine-grained app."""
+    from repro.hw.pmu import PMU_METRICS
+
+    config = config or default_config()
+    pipeline = BarrierPointPipeline(
+        create(app_name), threads, config=config.pipeline_config()
+    )
+    weights = pipeline.counters(ISA.X86_64).bp_instructions()
+
+    points = []
+    for threshold in thresholds:
+        groups = coalesce_groups(weights, threshold)
+        report, k = _evaluate_grouped(pipeline, groups, isa)
+        points.append(
+            CoalescePoint(
+                min_instructions=threshold,
+                n_regions=int(groups.max()) + 1,
+                k=k,
+                errors={m: report.error_pct(m) for m in PMU_METRICS},
+            )
+        )
+    return CoalesceStudy(
+        app=app_name, threads=threads, isa=isa.value, points=points
+    )

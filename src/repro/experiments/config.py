@@ -1,0 +1,63 @@
+"""Experiment-level configuration.
+
+The paper's protocol is 10 discovery runs × 20 measurement repetitions
+over thread counts 1, 2, 4, 8.  ``REPRO_SCALE=quick`` shrinks the
+protocol for fast smoke runs (CI, tests); benches default to the full
+protocol.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.clustering.simpoint import SimPointOptions
+from repro.core.pipeline import PipelineConfig
+from repro.hw.measure import MeasurementProtocol
+
+__all__ = ["ExperimentConfig", "default_config"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared parameters of the experiment drivers.
+
+    Attributes
+    ----------
+    thread_counts:
+        Team widths swept in Figure 2 (paper: 1, 2, 4, 8).
+    discovery_runs / repetitions:
+        The paper's 10-run discovery and 20-repetition measurement.
+    seed:
+        Root seed; the same seed reproduces every number exactly.
+    cache_dir:
+        Where :class:`repro.experiments.runner.StudyRunner` persists
+        study summaries ('' disables the disk cache).
+    """
+
+    thread_counts: tuple[int, ...] = (1, 2, 4, 8)
+    discovery_runs: int = 10
+    repetitions: int = 20
+    seed: int = 2017
+    cache_dir: str = ".repro-cache"
+
+    def pipeline_config(self) -> PipelineConfig:
+        """The per-configuration pipeline parameters."""
+        return PipelineConfig(
+            discovery_runs=self.discovery_runs,
+            simpoint=SimPointOptions(),
+            protocol=MeasurementProtocol(repetitions=self.repetitions),
+            seed=self.seed,
+        )
+
+
+def default_config() -> ExperimentConfig:
+    """Config honouring ``REPRO_SCALE`` (``full`` default, ``quick`` CI)."""
+    scale = os.environ.get("REPRO_SCALE", "full").lower()
+    if scale == "quick":
+        return ExperimentConfig(
+            thread_counts=(1, 8), discovery_runs=3, repetitions=5
+        )
+    if scale == "full":
+        return ExperimentConfig()
+    raise ValueError(f"REPRO_SCALE must be 'full' or 'quick', got {scale!r}")

@@ -1,0 +1,95 @@
+"""Figure 1 — MCB phase behaviour and barrier-point set sensitivity.
+
+The paper's Figure 1 plots, for MCB's ten barrier points (1 thread,
+non-vectorised, x86_64), the CPI and L2D MPKI relative to the first
+barrier point: the L2D MPKI climbs roughly an order of magnitude as the
+particles scatter.  It also contrasts two discovered barrier-point sets
+of equal size whose L2D-miss estimation errors differ strongly (<1%
+versus ~8% in the paper) — the motivation for exploring several sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import BarrierPointPipeline
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.hw.pmu import CYCLES, INSTRUCTIONS, L2D_MISSES
+from repro.isa.descriptors import ISA
+from repro.util.tables import render_table
+from repro.workloads.registry import create
+
+__all__ = ["Figure1", "run"]
+
+
+@dataclass(frozen=True)
+class Figure1:
+    """MCB per-barrier-point series plus the two contrasted sets.
+
+    Attributes
+    ----------
+    relative_cpi / relative_mpki:
+        Ten values, normalised to the first barrier point.
+    set_a / set_b:
+        (representatives, L2D error %) of the best and worst discovered
+        sets of the same size.
+    """
+
+    relative_cpi: list[float]
+    relative_mpki: list[float]
+    set_a: tuple[list[int], float]
+    set_b: tuple[list[int], float]
+
+    def render(self) -> str:
+        """ASCII rendering of the series and the set comparison."""
+        rows = [
+            (f"BP_{i + 1}", f"{c:.2f}", f"{m:.2f}")
+            for i, (c, m) in enumerate(zip(self.relative_cpi, self.relative_mpki))
+        ]
+        table = render_table(
+            ("Barrier point", "CPI (rel. BP_1)", "L2D MPKI (rel. BP_1)"),
+            rows,
+            title="Figure 1: MCB phase drift (1 thread, non-vectorised, x86_64)",
+        )
+        sets = (
+            f"\nBP Set 1 {self.set_a[0]}: L2D miss estimation error "
+            f"{self.set_a[1]:.2f}%"
+            f"\nBP Set 2 {self.set_b[0]}: L2D miss estimation error "
+            f"{self.set_b[1]:.2f}%"
+        )
+        return table + sets
+
+
+def run(config: ExperimentConfig | None = None) -> Figure1:
+    """Measure MCB per-barrier-point behaviour and contrast two sets."""
+    config = config or default_config()
+    pipeline = BarrierPointPipeline(
+        create("MCB"), threads=1, vectorised=False, config=config.pipeline_config()
+    )
+    measured = pipeline.measured_means(ISA.X86_64)  # (10, 1, 4)
+
+    cycles = measured[:, 0, CYCLES]
+    instr = measured[:, 0, INSTRUCTIONS]
+    l2d = measured[:, 0, L2D_MISSES]
+    cpi = cycles / instr
+    mpki = 1000.0 * l2d / instr
+
+    selections = pipeline.discover()
+    evaluations = pipeline.evaluate_many(selections, ISA.X86_64)
+    scored = sorted(
+        evaluations, key=lambda ev: ev.report.error_mean[L2D_MISSES]
+    )
+    best, worst = scored[0], scored[-1]
+
+    return Figure1(
+        relative_cpi=[float(v) for v in cpi / cpi[0]],
+        relative_mpki=[float(v) for v in mpki / mpki[0]],
+        set_a=(
+            [int(i) for i in best.selection.representatives],
+            best.report.error_pct("l2d_misses"),
+        ),
+        set_b=(
+            [int(i) for i in worst.selection.representatives],
+            worst.report.error_pct("l2d_misses"),
+        ),
+    )

@@ -1,0 +1,129 @@
+"""Figure 2 — estimation error per app, thread count, config and metric.
+
+For every application panel (2a-2g), the paper plots the average
+absolute estimation error (bars) and maximum standard deviation (error
+bars) of the four metrics, grouped by thread count, for the four
+configurations x86_64 / x86_64-vect / ARMv8 / ARMv8-vect.  This driver
+reproduces the full data grid behind those panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import StudyRunner
+from repro.hw.pmu import PMU_METRICS
+from repro.util.tables import render_table
+from repro.workloads.registry import EVALUATED_APPS
+
+__all__ = ["Figure2Point", "Figure2Panel", "Figure2", "run", "PANEL_IDS"]
+
+#: Panel letter per application, as in the paper.
+PANEL_IDS = {
+    "AMGMk": "2a",
+    "graph500": "2b",
+    "HPCG": "2c",
+    "MCB": "2d",
+    "miniFE": "2e",
+    "CoMD": "2f",
+    "LULESH": "2g",
+}
+
+_CONFIG_ORDER = ("x86_64", "x86_64-vect", "ARMv8", "ARMv8-vect")
+
+
+@dataclass(frozen=True)
+class Figure2Point:
+    """One bar of one panel: (threads, config, metric) → error ± std."""
+
+    threads: int
+    config_label: str
+    metric: str
+    error_pct: float
+    std_pct: float
+
+
+@dataclass(frozen=True)
+class Figure2Panel:
+    """All bars of one application's panel."""
+
+    app: str
+    panel_id: str
+    points: list[Figure2Point]
+
+    def series(self, config_label: str, metric: str) -> list[tuple[int, float, float]]:
+        """(threads, error, std) series for one config × metric line."""
+        return [
+            (p.threads, p.error_pct, p.std_pct)
+            for p in self.points
+            if p.config_label == config_label and p.metric == metric
+        ]
+
+    def max_error(self) -> float:
+        """Worst bar in the panel (LULESH ≫ the rest, as in the paper)."""
+        return max(p.error_pct for p in self.points)
+
+    def render(self) -> str:
+        """ASCII rendering: one row per (metric, config)."""
+        rows = []
+        threads = sorted({p.threads for p in self.points})
+        for metric in PMU_METRICS:
+            for label in _CONFIG_ORDER:
+                series = {t: (e, s) for t, e, s in self.series(label, metric)}
+                if not series:
+                    continue  # panel built for a subset of configs
+                row = [metric, label]
+                for t in threads:
+                    if t in series:
+                        err, std = series[t]
+                        row.append(f"{err:.2f}±{std:.2f}")
+                    else:
+                        row.append("-")
+                rows.append(tuple(row))
+        headers = ("Metric", "Config") + tuple(f"{t} thr" for t in threads)
+        return render_table(
+            headers,
+            rows,
+            title=f"Figure {self.panel_id}: {self.app} avg. abs. error (%)",
+        )
+
+
+@dataclass(frozen=True)
+class Figure2:
+    """All seven panels."""
+
+    panels: dict[str, Figure2Panel]
+
+    def render(self) -> str:
+        """ASCII rendering of every panel in paper order."""
+        return "\n\n".join(
+            self.panels[app].render() for app in PANEL_IDS if app in self.panels
+        )
+
+
+def run(
+    config: ExperimentConfig | None = None, apps: tuple[str, ...] | None = None
+) -> Figure2:
+    """Sweep apps × thread counts and collect the error grid."""
+    config = config or default_config()
+    runner = StudyRunner(config)
+    panels = {}
+    for app in apps or EVALUATED_APPS:
+        points = []
+        for threads in config.thread_counts:
+            summary = runner.study(app, threads)
+            for label in _CONFIG_ORDER:
+                cfg = summary.config(label)
+                for metric in PMU_METRICS:
+                    points.append(
+                        Figure2Point(
+                            threads=threads,
+                            config_label=label,
+                            metric=metric,
+                            error_pct=cfg.error_mean[metric],
+                            std_pct=cfg.error_std[metric],
+                        )
+                    )
+        panels[app] = Figure2Panel(app=app, panel_id=PANEL_IDS[app], points=points)
+    return Figure2(panels=panels)

@@ -1,0 +1,118 @@
+"""Section V-B — methodology applicability per application.
+
+Three failure groups the paper documents:
+
+* **Single parallel region** (RSBench, XSBench, PathFinder): the
+  analysis finds exactly one barrier point; it is trivially
+  representative but offers no simulation-time gain.
+* **Architecture-dependent iteration counts** (HPGMG-FV): x86_64 and
+  ARMv8 execute different numbers of parallel regions, so the x86-based
+  selection cannot be validated on ARMv8 at all.
+* **Many tiny regions** (HPGMG-FV, LULESH): instrumentation overhead and
+  PMU noise dominate, degrading the estimates (quantified by the
+  Section V-C study and visible in Figure 2g).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import CrossArchitectureMismatch
+from repro.core.pipeline import BarrierPointPipeline
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.isa.descriptors import ISA
+from repro.util.tables import render_table
+from repro.workloads.registry import SINGLE_REGION_APPS, create
+
+__all__ = ["LimitationRow", "Limitations", "run"]
+
+
+@dataclass(frozen=True)
+class LimitationRow:
+    """Applicability verdict for one application."""
+
+    app: str
+    total_bps: int
+    selected: int
+    offers_gain: bool
+    cross_arch_ok: bool
+    note: str
+
+
+@dataclass(frozen=True)
+class Limitations:
+    """The Section V-B applicability study."""
+
+    rows: list[LimitationRow]
+
+    def row(self, app: str) -> LimitationRow:
+        """Lookup one application's verdict."""
+        for row in self.rows:
+            if row.app == app:
+                return row
+        raise KeyError(f"no limitation row for {app}")
+
+    def render(self) -> str:
+        """ASCII rendering of the applicability table."""
+        cells = [
+            (
+                r.app,
+                r.total_bps,
+                r.selected,
+                "yes" if r.offers_gain else "NO",
+                "yes" if r.cross_arch_ok else "NO",
+                r.note,
+            )
+            for r in self.rows
+        ]
+        return render_table(
+            ("Application", "Total BPs", "Selected", "Gain?", "Cross-arch?", "Note"),
+            cells,
+            title="Section V-B: methodology applicability",
+        )
+
+
+def run(config: ExperimentConfig | None = None, threads: int = 8) -> Limitations:
+    """Check the limitation groups explicitly."""
+    config = config or default_config()
+    pipeline_config = config.pipeline_config()
+    rows = []
+
+    for app_name in SINGLE_REGION_APPS:
+        pipeline = BarrierPointPipeline(
+            create(app_name), threads, config=pipeline_config
+        )
+        selection = pipeline.discover()[0]
+        rows.append(
+            LimitationRow(
+                app=app_name,
+                total_bps=selection.n_barrier_points,
+                selected=selection.k,
+                offers_gain=selection.offers_gain,
+                cross_arch_ok=True,
+                note="embarrassingly parallel: full core loop must run",
+            )
+        )
+
+    pipeline = BarrierPointPipeline(create("HPGMG-FV"), threads, config=pipeline_config)
+    selection = pipeline.discover()[0]
+    try:
+        pipeline.evaluate(selection, ISA.ARMV8)
+        cross_ok, note = True, "unexpectedly matched"
+    except CrossArchitectureMismatch as exc:
+        cross_ok = False
+        note = (
+            f"convergence differs: {exc.source_count} BPs on x86_64, "
+            f"{exc.target_count} on ARMv8"
+        )
+    rows.append(
+        LimitationRow(
+            app="HPGMG-FV",
+            total_bps=selection.n_barrier_points,
+            selected=selection.k,
+            offers_gain=selection.offers_gain,
+            cross_arch_ok=cross_ok,
+            note=note,
+        )
+    )
+    return Limitations(rows=rows)

@@ -1,0 +1,166 @@
+"""Cross-architecture study execution with disk caching.
+
+Tables III/IV and every Figure 2 panel derive from the same underlying
+sweep: a :class:`~repro.core.crossarch.CrossArchStudy` per (application,
+thread count).  :class:`StudyRunner` executes them once, reduces each to
+a JSON-serialisable :class:`StudySummary`, and caches the summaries on
+disk keyed by the full protocol (seed, runs, repetitions), so re-running
+a bench or rendering another table reuses the work.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.crossarch import CrossArchStudy
+from repro.experiments.config import ExperimentConfig
+from repro.hw.pmu import PMU_METRICS
+from repro.workloads.registry import create
+
+__all__ = ["ConfigSummary", "StudySummary", "StudyRunner"]
+
+#: Bump when summary contents or the underlying models change shape.
+_CACHE_VERSION = 4
+
+
+@dataclass(frozen=True)
+class ConfigSummary:
+    """Reduced per-configuration-label result (one Table IV half-row).
+
+    All error values are percentages (Figure 2 / Table IV units).
+    """
+
+    label: str
+    k: int
+    error_mean: dict[str, float]
+    error_std: dict[str, float]
+    bp_fraction: float
+    total_instruction_pct: float
+    largest_instruction_pct: float
+    speedup: float
+
+
+@dataclass(frozen=True)
+class StudySummary:
+    """Everything the table/figure drivers need from one study cell."""
+
+    app: str
+    threads: int
+    total_barrier_points: int
+    configs: dict[str, ConfigSummary]
+    failures: dict[str, str]
+    selected_counts: list[int]
+
+    def config(self, label: str) -> ConfigSummary:
+        """Summary for one configuration label."""
+        return self.configs[label]
+
+    def min_selected(self) -> int:
+        """Fewest barrier points selected across discovery runs."""
+        return min(self.selected_counts)
+
+    def max_selected(self) -> int:
+        """Most barrier points selected across discovery runs."""
+        return max(self.selected_counts)
+
+
+def _summarise(study_result) -> StudySummary:
+    configs = {}
+    for label, cfg in study_result.configs.items():
+        report = cfg.report
+        selection = cfg.selection
+        configs[label] = ConfigSummary(
+            label=label,
+            k=selection.k,
+            error_mean={m: report.error_pct(m) for m in PMU_METRICS},
+            error_std={m: report.std_pct(m) for m in PMU_METRICS},
+            bp_fraction=selection.bp_fraction,
+            total_instruction_pct=100.0 * selection.selected_instruction_fraction,
+            largest_instruction_pct=100.0 * selection.largest_instruction_fraction,
+            speedup=selection.speedup,
+        )
+    return StudySummary(
+        app=study_result.app_name,
+        threads=study_result.threads,
+        total_barrier_points=study_result.total_barrier_points,
+        configs=configs,
+        failures=dict(study_result.failures),
+        selected_counts=study_result.selection_sizes(),
+    )
+
+
+class StudyRunner:
+    """Executes and caches cross-architecture studies.
+
+    Parameters
+    ----------
+    config:
+        Experiment protocol; part of the cache key.
+    """
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self._memory: dict[tuple[str, int], StudySummary] = {}
+
+    # ------------------------------------------------------------- cache
+    def _cache_path(self, app: str, threads: int) -> Path | None:
+        if not self.config.cache_dir:
+            return None
+        c = self.config
+        name = (
+            f"v{_CACHE_VERSION}_{app}_t{threads}_s{c.seed}"
+            f"_d{c.discovery_runs}_r{c.repetitions}.json"
+        )
+        return Path(c.cache_dir) / name
+
+    def _load(self, path: Path) -> StudySummary | None:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        configs = {
+            label: ConfigSummary(**data) for label, data in payload["configs"].items()
+        }
+        return StudySummary(
+            app=payload["app"],
+            threads=payload["threads"],
+            total_barrier_points=payload["total_barrier_points"],
+            configs=configs,
+            failures=payload["failures"],
+            selected_counts=payload["selected_counts"],
+        )
+
+    def _store(self, path: Path, summary: StudySummary) -> None:
+        payload = asdict(summary)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+    # --------------------------------------------------------------- run
+    def study(self, app_name: str, threads: int) -> StudySummary:
+        """Run (or fetch) the study for one (application, threads) cell."""
+        key = (app_name, threads)
+        if key in self._memory:
+            return self._memory[key]
+
+        path = self._cache_path(app_name, threads)
+        if path is not None and path.exists():
+            cached = self._load(path)
+            if cached is not None:
+                self._memory[key] = cached
+                return cached
+
+        study = CrossArchStudy(
+            create(app_name), threads, self.config.pipeline_config()
+        )
+        summary = _summarise(study.run())
+        self._memory[key] = summary
+        if path is not None:
+            self._store(path, summary)
+        return summary
+
+    def sweep(self, app_names, thread_counts=None) -> list[StudySummary]:
+        """Run studies for a cross product of apps and thread counts."""
+        threads = thread_counts or self.config.thread_counts
+        return [self.study(app, t) for app in app_names for t in threads]

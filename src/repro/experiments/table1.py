@@ -1,0 +1,32 @@
+"""Table I — applications deployed and their descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.tables import render_table
+from repro.workloads.registry import TABLE1_ORDER, create
+
+__all__ = ["Table1", "run"]
+
+_HEADERS = ("Application", "Description", "Input")
+
+
+@dataclass(frozen=True)
+class Table1:
+    """Rendered Table I."""
+
+    rows: list[tuple[str, str, str]]
+
+    def render(self) -> str:
+        """ASCII rendering of the table."""
+        return render_table(_HEADERS, self.rows, title="Table I: applications deployed")
+
+
+def run(config=None) -> Table1:
+    """Build Table I from the workload registry."""
+    rows = []
+    for name in TABLE1_ORDER:
+        app = create(name)
+        rows.append((app.name, app.description, f"Input: {app.input_args}"))
+    return Table1(rows=rows)

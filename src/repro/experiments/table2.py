@@ -1,0 +1,30 @@
+"""Table II — micro-architectural parameters of the two machines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.machines import APM_XGENE, INTEL_I7_3770
+from repro.util.tables import render_table
+
+__all__ = ["Table2", "run"]
+
+_HEADERS = ("Platform", "Configuration")
+
+
+@dataclass(frozen=True)
+class Table2:
+    """Rendered Table II."""
+
+    rows: list[tuple[str, str]]
+
+    def render(self) -> str:
+        """ASCII rendering of the table."""
+        return render_table(
+            _HEADERS, self.rows, title="Table II: Intel and ARM evaluation systems"
+        )
+
+
+def run(config=None) -> Table2:
+    """Build Table II from the machine descriptors."""
+    return Table2(rows=[INTEL_I7_3770.table_row(), APM_XGENE.table_row()])

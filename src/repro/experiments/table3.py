@@ -1,0 +1,68 @@
+"""Table III — total barrier points and min/max selected per application.
+
+"Total number of barrier points, as well as the minimum and maximum
+number selected, per application, across all configurations and barrier
+point discovery runs" — i.e. across thread counts, both vectorisation
+settings, and the 10 discovery runs of each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import StudyRunner
+from repro.util.tables import render_table
+from repro.workloads.registry import EVALUATED_APPS
+
+__all__ = ["Table3", "run", "PAPER_TABLE3"]
+
+_HEADERS = ("Application", "Total", "Min", "Max")
+
+#: The paper's Table III values, for side-by-side comparison.
+PAPER_TABLE3 = {
+    "AMGMk": (1000, 3, 12),
+    "CoMD": (810, 7, 18),
+    "graph500": (197, 8, 20),
+    "HPCG": (803, 12, 19),
+    "LULESH": (9840, 8, 20),
+    "MCB": (10, 3, 4),
+    "miniFE": (1208, 3, 19),
+}
+
+
+@dataclass(frozen=True)
+class Table3:
+    """Our Table III, with the paper's numbers attached."""
+
+    rows: list[tuple[str, int, int, int]]
+
+    def render(self) -> str:
+        """ASCII rendering, paper values alongside measured ones."""
+        merged = []
+        for app, total, lo, hi in self.rows:
+            p_total, p_lo, p_hi = PAPER_TABLE3[app]
+            merged.append(
+                (app, total, lo, hi, f"{p_total} / {p_lo}-{p_hi}")
+            )
+        return render_table(
+            ("Application", "Total", "Min", "Max", "Paper (total / min-max)"),
+            merged,
+            title="Table III: barrier points per application",
+        )
+
+
+def run(config: ExperimentConfig | None = None) -> Table3:
+    """Sweep all evaluated apps × thread counts and count selections."""
+    config = config or default_config()
+    runner = StudyRunner(config)
+    rows = []
+    for app in EVALUATED_APPS:
+        counts: list[int] = []
+        total = 0
+        for threads in config.thread_counts:
+            summary = runner.study(app, threads)
+            counts.extend(summary.selected_counts)
+            total = max(total, summary.total_barrier_points)
+        rows.append((app, total, min(counts), max(counts)))
+    return Table3(rows=rows)

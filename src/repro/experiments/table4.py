@@ -1,0 +1,131 @@
+"""Table IV — selection, errors and speed-up for the 8-thread configs.
+
+Per application and vectorisation setting: barrier points selected,
+cycle/instruction estimation errors for x86_64 and ARMv8, the largest
+and total percentages of instructions selected, and the simulation
+speed-up (footnote d: the inverse of the total instruction fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import StudyRunner
+from repro.util.tables import render_table
+from repro.workloads.registry import EVALUATED_APPS
+
+__all__ = ["Table4Row", "Table4", "run", "PAPER_TABLE4"]
+
+#: Paper values: (BPs, err_cyc_x86, err_cyc_arm, err_ins_x86, err_ins_arm,
+#: largest_pct, total_pct, speedup), per (app, vectorised).
+PAPER_TABLE4 = {
+    ("AMGMk", False): (5, 0.22, 1.58, 0.19, 1.32, 3.17, 3.82, 26.17),
+    ("AMGMk", True): (6, 0.32, 2.05, 0.21, 1.03, 1.79, 2.52, 39.68),
+    ("CoMD", False): (17, 0.20, 1.20, 0.09, 0.15, 0.52, 2.07, 48.30),
+    ("CoMD", True): (12, 0.11, 0.37, 0.08, 0.26, 0.55, 1.42, 70.42),
+    ("graph500", False): (10, 1.86, 0.92, 0.79, 1.47, 29.27, 38.98, 2.56),
+    ("graph500", True): (9, 0.29, 1.75, 0.70, 1.39, 28.55, 38.26, 2.61),
+    ("HPCG", False): (17, 0.45, 1.18, 0.11, 0.29, 0.63, 2.76, 36.23),
+    ("HPCG", True): (12, 0.24, 1.59, 0.30, 1.26, 0.62, 1.14, 87.71),
+    ("LULESH", False): (10, 8.97, 7.42, 1.06, 16.49, 1.07, 1.70, 58.82),
+    ("LULESH", True): (20, 1.52, 10.60, 0.40, 11.99, 0.83, 2.37, 42.19),
+    ("MCB", False): (4, 0.51, 0.39, 0.17, 0.13, 10.40, 38.80, 2.57),
+    ("MCB", True): (3, 0.60, 0.79, 0.10, 0.13, 10.40, 28.68, 3.48),
+    ("miniFE", False): (9, 0.05, 0.36, 0.11, 1.16, 0.43, 0.56, 178.57),
+    ("miniFE", True): (13, 0.06, 0.47, 0.08, 1.17, 0.45, 0.59, 169.49),
+}
+
+_HEADERS = (
+    "Workload",
+    "Config",
+    "BPs",
+    "Total BPs",
+    "Err cyc x86/ARM (%)",
+    "Err ins x86/ARM (%)",
+    "Largest BP (%)",
+    "Total (%)",
+    "Speedup",
+)
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One Table IV row (one application × vectorisation setting)."""
+
+    app: str
+    vectorised: bool
+    bps_selected: int
+    total_bps: int
+    err_cycles_x86: float
+    err_cycles_arm: float
+    err_instr_x86: float
+    err_instr_arm: float
+    largest_pct: float
+    total_pct: float
+    speedup: float
+
+    @property
+    def config_name(self) -> str:
+        """Configuration pair label as the paper prints it."""
+        if self.vectorised:
+            return "x86_64-vect / ARMv8-vect"
+        return "x86_64 / ARMv8"
+
+
+@dataclass(frozen=True)
+class Table4:
+    """Our Table IV."""
+
+    rows: list[Table4Row]
+
+    def render(self) -> str:
+        """ASCII rendering with the paper's values appended."""
+        cells = []
+        for r in self.rows:
+            paper = PAPER_TABLE4[(r.app, r.vectorised)]
+            cells.append(
+                (
+                    r.app,
+                    "vect" if r.vectorised else "scalar",
+                    f"{r.bps_selected}/{r.total_bps}",
+                    r.total_bps,
+                    f"{r.err_cycles_x86:.2f} / {r.err_cycles_arm:.2f}",
+                    f"{r.err_instr_x86:.2f} / {r.err_instr_arm:.2f}",
+                    f"{r.largest_pct:.2f} (paper {paper[5]:.2f})",
+                    f"{r.total_pct:.2f} (paper {paper[6]:.2f})",
+                    f"{r.speedup:.1f}x (paper {paper[7]:.1f}x)",
+                )
+            )
+        return render_table(
+            _HEADERS, cells, title="Table IV: 8-thread selection, error and speed-up"
+        )
+
+
+def run(config: ExperimentConfig | None = None) -> Table4:
+    """Build Table IV from the 8-thread studies."""
+    config = config or default_config()
+    runner = StudyRunner(config)
+    rows = []
+    for app in EVALUATED_APPS:
+        summary = runner.study(app, 8)
+        for vectorised in (False, True):
+            suffix = "-vect" if vectorised else ""
+            x86 = summary.config(f"x86_64{suffix}")
+            arm = summary.config(f"ARMv8{suffix}")
+            rows.append(
+                Table4Row(
+                    app=app,
+                    vectorised=vectorised,
+                    bps_selected=x86.k,
+                    total_bps=summary.total_barrier_points,
+                    err_cycles_x86=x86.error_mean["cycles"],
+                    err_cycles_arm=arm.error_mean["cycles"],
+                    err_instr_x86=x86.error_mean["instructions"],
+                    err_instr_arm=arm.error_mean["instructions"],
+                    largest_pct=x86.largest_instruction_pct,
+                    total_pct=x86.total_instruction_pct,
+                    speedup=x86.speedup,
+                )
+            )
+    return Table4(rows=rows)

@@ -1,0 +1,397 @@
+"""The two evaluation machines (Table II).
+
+======  ==========================================================
+x86_64  Intel Core i7-3770 @ 3.4 GHz (4 cores × 2 SMT threads)
+        32 KB L1D + 32 KB L1I, 256 KB L2 per core, 8 MB shared L3
+ARMv8   AppliedMicro X-Gene @ 2.4 GHz (4 clusters × 2 cores)
+        32 KB L1D + 32 KB L1I per core, 256 KB L2 per cluster,
+        8 MB shared L3
+======  ==========================================================
+
+Thread placement follows the paper's pinning (Section V-A Step 3) with a
+scatter-first policy: one thread per physical core/cluster while
+possible.  Consequences the sharing model captures:
+
+* Intel, 8 threads: SMT pairs co-run — L1D and L2 are halved per thread
+  and per-thread CPI inflates (port sharing).
+* X-Gene, 8 threads: core pairs within a cluster share the cluster's
+  256 KiB L2; L1D stays private at every thread count.
+
+CPI and penalty figures are order-of-magnitude realistic for Ivy Bridge
+and the first-generation X-Gene; absolute fidelity is not required (see
+DESIGN.md §2) because the methodology's error metrics compare a machine
+against itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.caches import CacheLevelSpec
+from repro.hw.pmu import PmuNoiseSpec
+from repro.ir.memory import PatternKind
+from repro.isa.descriptors import ISA
+
+__all__ = ["Machine", "INTEL_I7_3770", "APM_XGENE", "ARMV8_IN_ORDER", "machine_for"]
+
+_K = PatternKind
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A hardware platform as seen by the performance and PMU models.
+
+    Attributes
+    ----------
+    name / isa / freq_ghz / cores / smt_per_core / clusters:
+        Identity and topology (Table II).
+    l1d, l2, l3:
+        Cache level specs, including prefetch behaviour.
+    cpi:
+        Base cycles-per-instruction per lowered instruction class
+        (keys match :class:`repro.isa.lowering.LoweredCounts` fields).
+    penalty_l2 / penalty_l3 / penalty_mem:
+        Cycles to fetch from the next level on an L1 / L2 / L3 miss.
+    stall_overlap:
+        Fraction of miss latency hidden by out-of-order overlap and
+        MLP, per access-pattern kind.
+    smt_cpi_penalty:
+        Per-thread CPI multiplier when two SMT threads share a core.
+    bandwidth_slope:
+        Memory-penalty growth per additional active thread (bandwidth
+        contention).
+    uarch_sigma_cycles / uarch_sigma_misses:
+        Sigma of the per-instance, ISA-specific behavioural jitter
+        (code layout, branch aliasing, TLB state) — invisible to the
+        x86-side clustering, hence a source of cross-ISA error.
+    cliff_boost:
+        Relative miss inflation of a thrashing instance near a
+        cache-capacity cliff (working set ~ effective capacity); the
+        bimodal thrash mixture reproduces the AMGMk 1-thread L2D
+        anomaly.
+    pmu:
+        PMU noise parameters.
+    """
+
+    name: str
+    isa: ISA
+    freq_ghz: float
+    cores: int
+    smt_per_core: int
+    clusters: int
+    l1d: CacheLevelSpec
+    l2: CacheLevelSpec
+    l3: CacheLevelSpec
+    cpi: dict[str, float]
+    penalty_l2: float
+    penalty_l3: float
+    penalty_mem: float
+    stall_overlap: dict[PatternKind, float]
+    smt_cpi_penalty: float
+    bandwidth_slope: float
+    uarch_sigma_cycles: float
+    uarch_sigma_misses: float
+    cliff_boost: float
+    pmu: PmuNoiseSpec
+    l2_shared_by_cluster: bool = False
+
+    @property
+    def max_threads(self) -> int:
+        """Hardware thread capacity (the paper stops at 8)."""
+        return self.cores * self.smt_per_core
+
+    def validate_threads(self, threads: int) -> None:
+        """Raise if a team is wider than the machine can host."""
+        if threads < 1 or threads > self.max_threads:
+            raise ValueError(
+                f"{self.name} hosts 1..{self.max_threads} threads, got {threads}"
+            )
+
+    def l1_sharers(self, threads: int) -> int:
+        """Threads sharing one L1D under scatter-first pinning."""
+        self.validate_threads(threads)
+        return 1 if threads <= self.cores else self.smt_per_core
+
+    def l2_sharers(self, threads: int) -> int:
+        """Threads sharing one L2 under scatter-first pinning."""
+        self.validate_threads(threads)
+        if self.l2_shared_by_cluster:
+            return 1 if threads <= self.clusters else min(threads, 2)
+        return self.l1_sharers(threads)
+
+    def l3_sharers(self, threads: int) -> int:
+        """Threads sharing the L3 (all of them; it is chip-wide)."""
+        self.validate_threads(threads)
+        return threads
+
+    def smt_active(self, threads: int) -> bool:
+        """Whether SMT pairs co-run at this team width."""
+        self.validate_threads(threads)
+        return self.smt_per_core > 1 and threads > self.cores
+
+    def memory_penalty(self, threads: int) -> float:
+        """L3-miss penalty including bandwidth contention."""
+        self.validate_threads(threads)
+        return self.penalty_mem * (1.0 + self.bandwidth_slope * (threads - 1))
+
+    def table_row(self) -> tuple[str, str]:
+        """(platform, description) row reproducing Table II."""
+        if self.smt_per_core > 1:
+            topo = f"{self.cores} cores x {self.smt_per_core} threads"
+        else:
+            topo = f"{self.clusters} clusters x {self.cores // self.clusters} cores"
+        lines = [
+            f"{self.name} @ {self.freq_ghz} GHz ({topo})",
+            f"{self.l1d.describe()} per core, {self.l2.describe()}"
+            + (" per cluster" if self.l2_shared_by_cluster else " per core"),
+            f"{self.l3.describe()} shared",
+        ]
+        return (self.isa.value, "; ".join(lines))
+
+
+INTEL_I7_3770 = Machine(
+    name="Intel Core i7-3770",
+    isa=ISA.X86_64,
+    freq_ghz=3.4,
+    cores=4,
+    smt_per_core=2,
+    clusters=4,
+    l1d=CacheLevelSpec(
+        name="L1D",
+        size_bytes=32 * 1024,
+        associativity=8,
+        prefetch_effectiveness={
+            _K.STREAM: 0.70,
+            _K.STRIDED: 0.50,
+            _K.STENCIL: 0.35,
+            _K.GATHER: 0.08,
+            _K.RANDOM: 0.0,
+            _K.POINTER_CHASE: 0.0,
+        },
+        pollution_rate={
+            _K.STREAM: 0.0015,
+            _K.STRIDED: 0.002,
+            _K.STENCIL: 0.006,
+            _K.GATHER: 0.002,
+            _K.RANDOM: 0.001,
+            _K.POINTER_CHASE: 0.0005,
+        },
+    ),
+    l2=CacheLevelSpec(
+        name="L2",
+        size_bytes=256 * 1024,
+        associativity=8,
+        prefetch_effectiveness={
+            _K.STREAM: 0.85,
+            _K.STRIDED: 0.65,
+            _K.STENCIL: 0.50,
+            _K.GATHER: 0.12,
+            _K.RANDOM: 0.0,
+            _K.POINTER_CHASE: 0.0,
+        },
+        pollution_rate={
+            _K.STREAM: 0.0006,
+            _K.STRIDED: 0.0008,
+            _K.STENCIL: 0.002,
+            _K.GATHER: 0.0008,
+            _K.RANDOM: 0.0004,
+            _K.POINTER_CHASE: 0.0002,
+        },
+    ),
+    l3=CacheLevelSpec(
+        name="L3",
+        size_bytes=8 * 1024 * 1024,
+        associativity=16,
+        prefetch_effectiveness={
+            _K.STREAM: 0.80,
+            _K.STRIDED: 0.60,
+            _K.STENCIL: 0.45,
+            _K.GATHER: 0.10,
+            _K.RANDOM: 0.0,
+            _K.POINTER_CHASE: 0.0,
+        },
+    ),
+    cpi={
+        "scalar_flops": 0.50,
+        "vector_flops": 0.55,
+        "int_ops": 0.33,
+        "scalar_mem": 0.50,
+        "vector_mem": 0.60,
+        "branches": 0.55,
+        "simd_overhead": 0.45,
+    },
+    penalty_l2=10.0,
+    penalty_l3=26.0,
+    penalty_mem=190.0,
+    stall_overlap={
+        _K.STREAM: 0.75,
+        _K.STRIDED: 0.65,
+        _K.STENCIL: 0.60,
+        _K.GATHER: 0.35,
+        _K.RANDOM: 0.25,
+        _K.POINTER_CHASE: 0.05,
+    },
+    smt_cpi_penalty=1.5,
+    bandwidth_slope=0.05,
+    uarch_sigma_cycles=0.004,
+    uarch_sigma_misses=0.008,
+    cliff_boost=1.10,
+    pmu=PmuNoiseSpec(
+        sigma_rel=(0.004, 0.002, 0.010, 0.020),
+        sigma_abs=(8000.0, 3000.0, 300.0, 120.0),
+        interference_slope=0.05,
+        unpinned_factor=3.0,
+    ),
+)
+
+APM_XGENE = Machine(
+    name="ARMv8 AppliedMicro X-Gene",
+    isa=ISA.ARMV8,
+    freq_ghz=2.4,
+    cores=8,
+    smt_per_core=1,
+    clusters=4,
+    l1d=CacheLevelSpec(
+        name="L1D",
+        size_bytes=32 * 1024,
+        associativity=8,
+        prefetch_effectiveness={
+            _K.STREAM: 0.45,
+            _K.STRIDED: 0.25,
+            _K.STENCIL: 0.12,
+            _K.GATHER: 0.03,
+            _K.RANDOM: 0.0,
+            _K.POINTER_CHASE: 0.0,
+        },
+        pollution_rate={kind: 0.0002 for kind in PatternKind},
+        # The X-Gene L1D refill event merges regular-stride refills into
+        # read-allocate bursts: streaming misses are undercounted ~10x.
+        # Irregular refills (random/gather/chase) count one-for-one.
+        pmu_capture={
+            _K.STREAM: 0.07,
+            _K.STRIDED: 0.10,
+            _K.STENCIL: 0.12,
+            _K.GATHER: 1.0,
+            _K.RANDOM: 1.0,
+            _K.POINTER_CHASE: 1.0,
+        },
+    ),
+    l2=CacheLevelSpec(
+        name="L2",
+        size_bytes=256 * 1024,
+        associativity=8,
+        prefetch_effectiveness={
+            _K.STREAM: 0.60,
+            _K.STRIDED: 0.40,
+            _K.STENCIL: 0.25,
+            _K.GATHER: 0.05,
+            _K.RANDOM: 0.0,
+            _K.POINTER_CHASE: 0.0,
+        },
+        pollution_rate={kind: 0.0001 for kind in PatternKind},
+    ),
+    l3=CacheLevelSpec(
+        name="L3",
+        size_bytes=8 * 1024 * 1024,
+        associativity=32,
+        prefetch_effectiveness={
+            _K.STREAM: 0.55,
+            _K.STRIDED: 0.35,
+            _K.STENCIL: 0.20,
+            _K.GATHER: 0.04,
+            _K.RANDOM: 0.0,
+            _K.POINTER_CHASE: 0.0,
+        },
+    ),
+    cpi={
+        "scalar_flops": 0.80,
+        "vector_flops": 0.90,
+        "int_ops": 0.50,
+        "scalar_mem": 0.75,
+        "vector_mem": 0.95,
+        "branches": 0.75,
+        "simd_overhead": 0.70,
+    },
+    penalty_l2=12.0,
+    penalty_l3=32.0,
+    penalty_mem=200.0,
+    stall_overlap={
+        _K.STREAM: 0.60,
+        _K.STRIDED: 0.50,
+        _K.STENCIL: 0.45,
+        _K.GATHER: 0.25,
+        _K.RANDOM: 0.18,
+        _K.POINTER_CHASE: 0.03,
+    },
+    smt_cpi_penalty=1.0,
+    bandwidth_slope=0.07,
+    uarch_sigma_cycles=0.006,
+    uarch_sigma_misses=0.010,
+    cliff_boost=1.25,
+    pmu=PmuNoiseSpec(
+        sigma_rel=(0.006, 0.003, 0.012, 0.025),
+        sigma_abs=(10000.0, 4000.0, 350.0, 150.0),
+        interference_slope=0.05,
+        unpinned_factor=3.0,
+    ),
+    l2_shared_by_cluster=True,
+)
+
+
+
+#: Hypothetical in-order ARMv8 part (Cortex-A53 class) for the paper's
+#: Section VIII core-type study: same ISA and cache geometry as the
+#: X-Gene, but a narrow in-order pipeline — higher base CPI, almost no
+#: memory-latency overlap, and a simpler (less polluting) prefetcher.
+ARMV8_IN_ORDER = Machine(
+    name="ARMv8 in-order (A53-class)",
+    isa=ISA.ARMV8,
+    freq_ghz=1.5,
+    cores=8,
+    smt_per_core=1,
+    clusters=4,
+    l1d=APM_XGENE.l1d,
+    l2=APM_XGENE.l2,
+    l3=APM_XGENE.l3,
+    cpi={
+        "scalar_flops": 1.6,
+        "vector_flops": 1.8,
+        "int_ops": 1.0,
+        "scalar_mem": 1.3,
+        "vector_mem": 1.9,
+        "branches": 1.5,
+        "simd_overhead": 1.4,
+    },
+    penalty_l2=14.0,
+    penalty_l3=40.0,
+    penalty_mem=220.0,
+    stall_overlap={
+        _K.STREAM: 0.25,
+        _K.STRIDED: 0.20,
+        _K.STENCIL: 0.18,
+        _K.GATHER: 0.08,
+        _K.RANDOM: 0.05,
+        _K.POINTER_CHASE: 0.0,
+    },
+    smt_cpi_penalty=1.0,
+    bandwidth_slope=0.08,
+    uarch_sigma_cycles=0.005,
+    uarch_sigma_misses=0.010,
+    cliff_boost=1.25,
+    pmu=PmuNoiseSpec(
+        sigma_rel=(0.005, 0.003, 0.012, 0.025),
+        sigma_abs=(9000.0, 4000.0, 350.0, 150.0),
+        interference_slope=0.05,
+        unpinned_factor=3.0,
+    ),
+    l2_shared_by_cluster=True,
+)
+
+
+def machine_for(isa: ISA) -> Machine:
+    """Return the paper's evaluation machine for an ISA."""
+    if isa is ISA.X86_64:
+        return INTEL_I7_3770
+    if isa is ISA.ARMV8:
+        return APM_XGENE
+    raise ValueError(f"no machine registered for ISA {isa!r}")

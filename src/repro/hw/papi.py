@@ -1,0 +1,91 @@
+"""A small PAPI-like facade.
+
+The paper's Step 1 inserts PAPI calls before each OpenMP parallel region
+and around the region of interest.  This module offers the same shape of
+API over the simulated PMU, mapping the canonical metrics to their PAPI
+preset event names:
+
+======================  =========================
+``PAPI_TOT_CYC``        cycles
+``PAPI_TOT_INS``        instructions completed
+``PAPI_L1_DCM``         L1 data cache misses
+``PAPI_L2_DCM``         L2 data cache misses
+======================  =========================
+
+It exists for API fidelity in the examples; the experiment drivers use
+the vectorised :mod:`repro.hw.measure` protocol directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.machines import Machine
+from repro.hw.overhead import DEFAULT_OVERHEAD, InstrumentationOverhead
+from repro.hw.pmu import PMU_METRICS
+from repro.util.rng import RngTree
+
+__all__ = ["PAPI_EVENTS", "PapiSession"]
+
+#: PAPI preset names in canonical metric order.
+PAPI_EVENTS = ("PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_L1_DCM", "PAPI_L2_DCM")
+
+
+class PapiSession:
+    """One 'process' reading PMU counters through PAPI.
+
+    Parameters
+    ----------
+    machine:
+        The platform being measured.
+    rng:
+        Randomness node for read noise.
+    pinned:
+        Whether threads are pinned (the paper pins).
+    overhead:
+        Cost charged per read pair (start/stop).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        rng: RngTree,
+        pinned: bool = True,
+        overhead: InstrumentationOverhead = DEFAULT_OVERHEAD,
+    ) -> None:
+        self._machine = machine
+        self._pinned = pinned
+        self._overhead = overhead
+        self._gen = rng.generator("papi", machine.isa.value)
+        self._reads = 0
+
+    @property
+    def reads_performed(self) -> int:
+        """Number of region reads performed so far."""
+        return self._reads
+
+    def read_region(
+        self, true_values: np.ndarray, threads: int
+    ) -> dict[str, float]:
+        """One start/stop read of a region with known true counters.
+
+        Parameters
+        ----------
+        true_values:
+            ``(4,)`` true event counts of the region for one thread.
+        threads:
+            Active team width (affects interference noise).
+
+        Returns
+        -------
+        dict
+            PAPI event name → measured value.
+        """
+        true_values = np.asarray(true_values, dtype=float)
+        if true_values.shape != (len(PMU_METRICS),):
+            raise ValueError(f"expected {len(PMU_METRICS)} counters")
+        biased = self._overhead.apply(true_values, reads=1.0)
+        sigma = self._machine.pmu.read_sigma(biased, threads, self._pinned)
+        measured = np.maximum(biased + sigma * self._gen.standard_normal(4), 0.0)
+        self._reads += 1
+        return dict(zip(PAPI_EVENTS, (float(v) for v in measured)))

@@ -1,0 +1,272 @@
+"""The performance model: true PMU counters for a trace on a machine.
+
+Produces, for every dynamic barrier point and every thread, the four
+counters the paper reports — cycles, instructions, L1D misses, L2D
+misses — *before* measurement noise and instrumentation overhead (those
+are applied by :mod:`repro.hw.measure`).
+
+Model structure per barrier point and thread:
+
+* **instructions** — block iterations × lowered per-iteration counts
+  (:func:`repro.isa.lowering.lower_mix`), times a small per-(block, ISA)
+  code-generation factor, plus spin-loop instructions at the closing
+  barrier.
+* **cache misses** — block accesses × the analytic stack-distance miss
+  fraction at the level's per-thread effective capacity, corrected by
+  the machine's prefetch effectiveness and pollution, made monotonic
+  down the hierarchy.
+* **cycles** — instruction classes × base CPI (SMT-inflated when pairs
+  co-run) + miss-level transitions × latency penalties scaled by the
+  pattern's stall overlap and the bandwidth contention at the current
+  thread count, plus barrier spin until the slowest thread arrives.
+
+Two deliberately *ISA-specific, instance-level* jitters are layered on
+top (code layout / branch aliasing / TLB effects, and the
+capacity-cliff miss jitter).  They are invisible to the x86-side
+clustering, which is precisely what gives the ARMv8 estimations their
+slightly higher — but still small — errors in Table IV, and what breaks
+AMGMk's 1-thread L2D estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.machines import Machine
+from repro.hw.pmu import CYCLES, INSTRUCTIONS, L1D_MISSES, L2D_MISSES, N_METRICS
+from repro.ir.trace import ExecutionTrace
+from repro.isa.descriptors import ISA
+from repro.isa.lowering import LoweredCounts, lower_mix
+from repro.mem.hierarchy import miss_fraction
+from repro.runtime.barriers import barrier_spin
+from repro.util.rng import RngTree, stable_hash
+
+__all__ = ["PerfModel", "TrueCounters"]
+
+#: Sigma of the per-(block, ISA) lognormal code-generation factors.
+BLOCK_SIGMA_INSTR = 0.02
+BLOCK_SIGMA_CPI = 0.05
+BLOCK_SIGMA_MISS = 0.06
+
+#: Sigma of the per-instance, ISA-specific instruction-count jitter.
+INSTANCE_SIGMA_INSTR = 0.002
+
+#: Width (in log2 footprint/capacity space) of the capacity cliff.
+_CLIFF_WIDTH = 0.28
+
+#: Probability that a region instance sitting on a capacity cliff
+#: thrashes (its slab's set alignment conflicts this iteration).  The
+#: mixture is bimodal, so no single representative can cover it — the
+#: mechanism behind AMGMk's irreducible 1-thread L2D anomaly.
+_CLIFF_THRASH_P = 0.5
+
+
+def _block_factor(uid: str, isa: ISA, channel: str, sigma: float) -> float:
+    """Deterministic lognormal factor for one (block, ISA, channel)."""
+    gen = np.random.default_rng(stable_hash("block-factor", uid, isa.value, channel))
+    return float(np.exp(sigma * gen.standard_normal()))
+
+
+def _cliff_weight(footprint_lines: np.ndarray, capacity_lines: float) -> np.ndarray:
+    """1 when the working set sits on the capacity cliff, ~0 away from it."""
+    ratio = np.log2(np.maximum(footprint_lines, 1.0) / capacity_lines)
+    return np.exp(-(ratio**2) / (2.0 * _CLIFF_WIDTH**2))
+
+
+@dataclass(frozen=True)
+class TrueCounters:
+    """Noise-free counters of one execution on one machine.
+
+    Attributes
+    ----------
+    values:
+        ``(n_bp, threads, 4)`` in canonical metric order
+        (:data:`repro.hw.pmu.PMU_METRICS`).
+    trace:
+        The trace the counters were derived from.
+    machine_name:
+        Provenance for reports.
+    """
+
+    values: np.ndarray
+    trace: ExecutionTrace = field(repr=False)
+    machine_name: str
+
+    @property
+    def n_barrier_points(self) -> int:
+        """Number of barrier points covered."""
+        return int(self.values.shape[0])
+
+    @property
+    def threads(self) -> int:
+        """Team width."""
+        return int(self.values.shape[1])
+
+    def totals(self) -> np.ndarray:
+        """Whole-ROI counters per thread: ``(threads, 4)``."""
+        return self.values.sum(axis=0)
+
+    def bp_instructions(self) -> np.ndarray:
+        """Per-barrier-point instruction counts summed over threads.
+
+        These are the weights the methodology uses for multipliers and
+        for the '% instructions selected' accounting of Table IV.
+        """
+        return self.values[:, :, INSTRUCTIONS].sum(axis=1)
+
+    def metric(self, index: int) -> np.ndarray:
+        """One metric plane: ``(n_bp, threads)``."""
+        return self.values[:, :, index]
+
+
+class PerfModel:
+    """Derives :class:`TrueCounters` from traces, per machine.
+
+    Parameters
+    ----------
+    rng:
+        Tree node for the micro-architectural randomness.  Use one node
+        per (application, thread count) so the per-instance jitters stay
+        fixed across measurement repetitions — they are properties of
+        the run, not of the PMU.
+    """
+
+    def __init__(self, rng: RngTree) -> None:
+        self._rng = rng
+
+    def true_counters(self, trace: ExecutionTrace, machine: Machine) -> TrueCounters:
+        """Compute true per-barrier-point, per-thread counters."""
+        if machine.isa is not trace.binary.isa:
+            raise ValueError(
+                f"trace compiled for {trace.binary.isa} cannot run on {machine.name}"
+            )
+        threads = trace.threads
+        machine.validate_threads(threads)
+
+        cap_l1 = machine.l1d.effective_capacity(machine.l1_sharers(threads))
+        cap_l2 = machine.l2.effective_capacity(machine.l2_sharers(threads))
+        cap_l3 = machine.l3.effective_capacity(machine.l3_sharers(threads))
+        smt_factor = machine.smt_cpi_penalty if machine.smt_active(threads) else 1.0
+        mem_penalty = machine.memory_penalty(threads)
+        isa = machine.isa
+
+        per_template: list[np.ndarray] = []
+        for template, ttrace in zip(trace.program.templates, trace.template_traces):
+            n_inst = ttrace.n_instances
+            if n_inst == 0:
+                per_template.append(np.zeros((0, threads, N_METRICS)))
+                continue
+
+            gen = self._rng.generator("uarch", isa.value, template.name)
+            jit_cycles = np.exp(
+                machine.uarch_sigma_cycles * gen.standard_normal(n_inst)
+            )
+            jit_instr = np.exp(INSTANCE_SIGMA_INSTR * gen.standard_normal(n_inst))
+            z_l1 = gen.standard_normal(n_inst)
+            z_l2 = gen.standard_normal(n_inst)
+            thrash_l1 = (gen.random(n_inst) < _CLIFF_THRASH_P).astype(float)
+            thrash_l2 = (gen.random(n_inst) < _CLIFF_THRASH_P).astype(float)
+
+            instr = np.zeros((n_inst, threads))
+            busy = np.zeros((n_inst, threads))
+            m1 = np.zeros((n_inst, threads))
+            m2 = np.zeros((n_inst, threads))
+
+            for b_idx, block in enumerate(template.blocks):
+                iters = ttrace.iters[:, b_idx, :]  # (n_inst, threads)
+                lowered = lower_mix(block.mix, trace.binary)
+                f_instr = _block_factor(block.uid, isa, "instr", BLOCK_SIGMA_INSTR)
+                f_cpi = _block_factor(block.uid, isa, "cpi", BLOCK_SIGMA_CPI)
+                f_miss = _block_factor(block.uid, isa, "miss", BLOCK_SIGMA_MISS)
+
+                instr += iters * (lowered.total * f_instr)
+                busy += iters * (
+                    _compute_cycles_per_iter(lowered, machine.cpi)
+                    * f_cpi
+                    * smt_factor
+                )
+
+                accesses = iters * block.mix.memory_accesses
+                if block.mix.memory_accesses == 0:
+                    continue
+                pattern = block.pattern
+                fp_lines = (
+                    pattern.per_thread_footprint_lines(threads)
+                    * ttrace.footprint_scale
+                )
+                hot_eff = pattern.hot_fraction * ttrace.hot_scale
+
+                fr1 = miss_fraction(
+                    pattern.kind, fp_lines, pattern.hot_lines, hot_eff, cap_l1
+                )
+                fr2 = miss_fraction(
+                    pattern.kind, fp_lines, pattern.hot_lines, hot_eff, cap_l2
+                )
+                fr3 = miss_fraction(
+                    pattern.kind, fp_lines, pattern.hot_lines, hot_eff, cap_l3
+                )
+                fr1 = fr1 * (1.0 - machine.l1d.prefetch_effectiveness[pattern.kind])
+                fr1 = fr1 + machine.l1d.pollution_rate[pattern.kind]
+                fr2 = fr2 * (1.0 - machine.l2.prefetch_effectiveness[pattern.kind])
+                fr2 = fr2 + machine.l2.pollution_rate[pattern.kind]
+                fr3 = fr3 * (1.0 - machine.l3.prefetch_effectiveness[pattern.kind])
+
+                # ISA-specific instance jitter; on a capacity cliff a
+                # bimodal conflict-thrash term joins in.
+                cliff1 = _cliff_weight(fp_lines, cap_l1)
+                cliff2 = _cliff_weight(fp_lines, cap_l2)
+                mult1 = np.exp(machine.uarch_sigma_misses * z_l1) * (
+                    1.0 + machine.cliff_boost * cliff1 * thrash_l1
+                )
+                mult2 = np.exp(machine.uarch_sigma_misses * z_l2) * (
+                    1.0 + machine.cliff_boost * cliff2 * thrash_l2
+                )
+                fr1 = np.clip(fr1 * mult1, 0.0, 1.0)
+                fr2 = np.clip(fr2 * mult2, 0.0, 1.0)
+                fr3 = np.clip(fr3, 0.0, 1.0)
+                fr2 = np.minimum(fr2, fr1)
+                fr3 = np.minimum(fr3, fr2)
+
+                b_m1 = accesses * (fr1 * f_miss)[:, None]
+                b_m2 = accesses * (fr2 * f_miss)[:, None]
+                b_m3 = accesses * (fr3 * f_miss)[:, None]
+                # The PMU may undercount refills (X-Gene L1D merges
+                # streaming refills); stalls below use the real misses.
+                m1 += b_m1 * machine.l1d.capture_rate(pattern.kind)
+                m2 += b_m2 * machine.l2.capture_rate(pattern.kind)
+
+                exposed = 1.0 - machine.stall_overlap[pattern.kind]
+                busy += exposed * (
+                    (b_m1 - b_m2) * machine.penalty_l2
+                    + (b_m2 - b_m3) * machine.penalty_l3
+                    + b_m3 * mem_penalty
+                )
+
+            instr *= jit_instr[:, None]
+            busy *= jit_cycles[:, None]
+            spin_cycles, spin_instr = barrier_spin(busy)
+
+            values = np.zeros((n_inst, threads, N_METRICS))
+            values[:, :, CYCLES] = busy + spin_cycles
+            values[:, :, INSTRUCTIONS] = instr + spin_instr
+            values[:, :, L1D_MISSES] = m1
+            values[:, :, L2D_MISSES] = m2
+            per_template.append(values)
+
+        stacked = trace.gather_instance_values(per_template)
+        return TrueCounters(values=stacked, trace=trace, machine_name=machine.name)
+
+
+def _compute_cycles_per_iter(lowered: LoweredCounts, cpi: dict[str, float]) -> float:
+    """Base compute cycles of one abstract iteration (no memory stalls)."""
+    return (
+        lowered.scalar_flops * cpi["scalar_flops"]
+        + lowered.vector_flops * cpi["vector_flops"]
+        + lowered.int_ops * cpi["int_ops"]
+        + lowered.scalar_mem * cpi["scalar_mem"]
+        + lowered.vector_mem * cpi["vector_mem"]
+        + lowered.branches * cpi["branches"]
+        + lowered.simd_overhead * cpi["simd_overhead"]
+    )

@@ -1,0 +1,29 @@
+"""Dynamic-instrumentation substrate (the custom Pintool of Section V-A).
+
+The paper's barrier-point discovery runs the x86_64 binaries under a
+custom Pin tool that, for every inter-barrier region and every thread,
+collects a Basic Block Vector (BBV) and an LRU-stack Distance Vector
+(LDV).  This package produces the same observables from an
+:class:`~repro.ir.trace.ExecutionTrace`:
+
+* :mod:`repro.instrumentation.roi` — region-of-interest markers
+  (Step 1's manual source instrumentation).
+* :mod:`repro.instrumentation.bbv` — per-barrier-point, per-thread BBVs.
+* :mod:`repro.instrumentation.ldv` — per-barrier-point, per-thread LDVs.
+* :mod:`repro.instrumentation.collector` — the "Pintool": one discovery
+  run, including the interleaving jitter that makes the paper's 10 runs
+  differ.
+"""
+
+from repro.instrumentation.bbv import collect_bbv
+from repro.instrumentation.collector import BarrierPointCollector, DiscoveryObservation
+from repro.instrumentation.ldv import collect_ldv
+from repro.instrumentation.roi import mark_roi
+
+__all__ = [
+    "collect_bbv",
+    "collect_ldv",
+    "mark_roi",
+    "BarrierPointCollector",
+    "DiscoveryObservation",
+]

@@ -1,0 +1,92 @@
+"""The barrier-point discovery "Pintool".
+
+One :class:`BarrierPointCollector` run corresponds to one dynamically
+instrumented execution of an x86_64 binary (workflow Step 2): it walks
+the trace, collects per-barrier-point BBVs and LDVs, and perturbs them
+with that run's thread-interleaving jitter.  Ten collector runs with
+different run indices reproduce the paper's ten barrier-point discovery
+runs per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.perf import TrueCounters
+from repro.instrumentation.bbv import collect_bbv
+from repro.instrumentation.ldv import collect_ldv
+from repro.ir.trace import ExecutionTrace
+from repro.runtime.interleave import signature_jitter_sigma
+from repro.util.rng import RngTree
+
+__all__ = ["DiscoveryObservation", "BarrierPointCollector"]
+
+
+@dataclass(frozen=True)
+class DiscoveryObservation:
+    """Raw observables of one discovery run.
+
+    Attributes
+    ----------
+    bbv / ldv:
+        ``(n_bp, D)`` matrices as the Pintool would emit them — already
+        perturbed by this run's interleaving.
+    weights:
+        ``(n_bp,)`` per-barrier-point instruction counts (Pin counts
+        instructions exactly, so these carry no measurement noise).
+    run_index:
+        Which of the configuration's discovery runs this is.
+    """
+
+    bbv: np.ndarray
+    ldv: np.ndarray
+    weights: np.ndarray
+    run_index: int
+
+    @property
+    def n_barrier_points(self) -> int:
+        """Number of barrier points observed."""
+        return int(self.weights.shape[0])
+
+
+class BarrierPointCollector:
+    """Collects BBV/LDV observations from instrumented executions.
+
+    Parameters
+    ----------
+    rng:
+        Tree node scoping this configuration's discovery randomness,
+        e.g. ``tree.child("discovery", app, threads, binary.label)``.
+    """
+
+    def __init__(self, rng: RngTree) -> None:
+        self._rng = rng
+
+    def collect(
+        self, trace: ExecutionTrace, counters: TrueCounters, run_index: int
+    ) -> DiscoveryObservation:
+        """Run the Pintool once and return its observation.
+
+        Parameters
+        ----------
+        trace:
+            The (x86_64) execution being instrumented.
+        counters:
+            True counters of the same execution; supplies the exact
+            per-barrier-point instruction weights.
+        run_index:
+            Discovery run number (0-based); selects the interleaving.
+        """
+        bbv = collect_bbv(trace)
+        ldv = collect_ldv(trace)
+        weights = counters.bp_instructions()
+
+        sigma = signature_jitter_sigma(weights, trace.threads)  # (n_bp,)
+        gen = self._rng.generator("run", run_index)
+        bbv = bbv * np.exp(sigma[:, None] * gen.standard_normal(bbv.shape))
+        ldv = ldv * np.exp(sigma[:, None] * gen.standard_normal(ldv.shape))
+        return DiscoveryObservation(
+            bbv=bbv, ldv=ldv, weights=weights.copy(), run_index=run_index
+        )

@@ -1,0 +1,39 @@
+"""Region-of-interest markers (workflow Step 1).
+
+The paper manually instruments each application's source to delimit the
+main core loop, excluding initialisation and wrap-up "as these are not
+representative of the main workload behaviour".  The workload package
+already builds programs whose sequence *is* the region of interest; this
+module provides the equivalent operation for user-defined programs —
+slicing a program's barrier-point sequence the way the inserted markers
+would.
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+
+__all__ = ["mark_roi"]
+
+
+def mark_roi(program: Program, begin: int, end: int) -> Program:
+    """Return a program restricted to barrier points ``[begin, end)``.
+
+    Parameters
+    ----------
+    program:
+        The full program.
+    begin / end:
+        Dynamic barrier-point positions delimiting the region of
+        interest, as a developer would place the start/stop markers.
+    """
+    n = program.n_barrier_points
+    if not 0 <= begin < end <= n:
+        raise ValueError(
+            f"ROI [{begin}, {end}) invalid for a {n}-barrier-point program"
+        )
+    return Program(
+        name=program.name,
+        templates=program.templates,
+        sequence=program.sequence[begin:end].copy(),
+    )

@@ -1,0 +1,39 @@
+"""Program intermediate representation.
+
+The paper's toolchain observes applications through dynamic binary
+instrumentation: executed basic blocks (for BBVs) and memory reuse
+distances (for LDVs), partitioned at OpenMP barriers.  This package
+defines the program model those observations are drawn from:
+
+* :class:`~repro.ir.mix.InstructionMix` — ISA-neutral operation counts of
+  one basic-block iteration (lowered per binary by :mod:`repro.isa`).
+* :class:`~repro.ir.memory.MemoryPattern` — the block's data-access
+  behaviour (footprint, hot set, pattern kind), from which LDVs and cache
+  misses are derived.
+* :class:`~repro.ir.blocks.BasicBlock` — a static block: mix + pattern.
+* :class:`~repro.ir.regions.RegionTemplate` — a static OpenMP parallel
+  region (a barrier-point *kind*): blocks, per-instance work, drift.
+* :class:`~repro.ir.program.Program` — templates plus the dynamic
+  barrier-point sequence.
+* :class:`~repro.ir.trace.ExecutionTrace` — one dynamic execution:
+  per-barrier-point, per-thread block iteration counts.
+"""
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.memory import MemoryPattern, PatternKind
+from repro.ir.mix import InstructionMix
+from repro.ir.program import Program
+from repro.ir.regions import Drift, RegionTemplate
+from repro.ir.trace import ExecutionTrace, TemplateTrace
+
+__all__ = [
+    "InstructionMix",
+    "PatternKind",
+    "MemoryPattern",
+    "BasicBlock",
+    "Drift",
+    "RegionTemplate",
+    "Program",
+    "TemplateTrace",
+    "ExecutionTrace",
+]

@@ -1,0 +1,53 @@
+"""Static basic blocks.
+
+A :class:`BasicBlock` is the unit the BBV instrumentation counts: when a
+Pin-style tool observes a program, every block execution contributes
+``static_instructions`` entries to the barrier point's Basic Block
+Vector.  Blocks carry a stable ``uid`` so ISA-specific behavioural
+factors (applied by the hardware model) are reproducible across traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.memory import MemoryPattern
+from repro.ir.mix import InstructionMix
+
+__all__ = ["BasicBlock"]
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """One static basic block of a region template.
+
+    Attributes
+    ----------
+    uid:
+        Globally unique, stable identifier (``"<app>/<region>/<block>"``).
+        Used to key deterministic per-ISA behavioural factors.
+    name:
+        Human-readable kernel name (e.g. ``"spmv_inner"``).
+    mix:
+        Abstract operation counts per iteration.
+    pattern:
+        Memory behaviour of the block's accesses.
+    static_instructions:
+        Static size of the block in instructions; SimPoint-style BBVs
+        weight each execution count by this size so long blocks dominate
+        the vector the way they dominate execution.
+    """
+
+    uid: str
+    name: str
+    mix: InstructionMix
+    pattern: MemoryPattern
+    static_instructions: int = 12
+
+    def __post_init__(self) -> None:
+        if not self.uid:
+            raise ValueError("uid must be non-empty")
+        if self.static_instructions <= 0:
+            raise ValueError(
+                f"static_instructions must be positive, got {self.static_instructions}"
+            )

@@ -1,0 +1,113 @@
+"""Memory access patterns of basic blocks.
+
+A pattern is a compact, generative description of where a block's memory
+accesses land.  It serves two consumers:
+
+* the **analytic path** derives LRU-stack distance vectors (LDVs) and
+  per-level cache miss counts directly from the pattern
+  (:mod:`repro.mem.ldv`, :mod:`repro.mem.hierarchy`);
+* the **exact path** expands the pattern into a concrete address stream
+  (:mod:`repro.mem.streams`) that feeds the exact reuse-distance engine
+  and the set-associative cache simulator, which the tests use to
+  validate the analytic path.
+
+The model is a two-population mixture: a fraction ``hot_fraction`` of
+accesses hits a small per-thread *hot set* (stack, accumulators, inner
+blocking tiles), and the remainder walks the region's *footprint* with a
+kind-specific order (streaming, strided, stencil, random, gather,
+pointer-chase).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.units import CACHE_LINE_BYTES
+
+__all__ = ["PatternKind", "MemoryPattern"]
+
+
+class PatternKind(enum.Enum):
+    """Qualitative access-order classes used by the HPC proxy apps."""
+
+    #: Unit-stride sweep over the footprint (axpy, waxpby, stream copies).
+    STREAM = "stream"
+    #: Constant non-unit stride (column accesses, lattice sweeps).
+    STRIDED = "strided"
+    #: Neighbourhood re-touching (structured-grid stencils, MD cells).
+    STENCIL = "stencil"
+    #: Uniformly random lines within the footprint (hash/table lookups).
+    RANDOM = "random"
+    #: Indexed gathers (sparse matvec column reads, graph adjacency).
+    GATHER = "gather"
+    #: Serially dependent chains (linked lists, union-find, tree walks).
+    POINTER_CHASE = "pointer_chase"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class MemoryPattern:
+    """Generative description of a block's memory behaviour.
+
+    Attributes
+    ----------
+    kind:
+        Access-order class; controls the reuse-distance spread of the
+        cold population and how hardware prefetchers respond to it.
+    footprint_bytes:
+        Bytes touched by one region *instance* across all threads.  The
+        trace layer divides it among threads for parallel regions
+        (domain decomposition) before LDV/miss derivation.
+    hot_bytes:
+        Size of the per-thread hot set; reuses within it have stack
+        distances of roughly ``hot_bytes / 64`` lines.
+    hot_fraction:
+        Fraction of accesses that hit the hot set.
+    shared_fraction:
+        Fraction of the footprint shared by all threads (read-mostly
+        tables such as cross-section data in XSBench); the rest is
+        partitioned.
+    """
+
+    kind: PatternKind
+    footprint_bytes: float
+    hot_bytes: float = 8 * 1024
+    hot_fraction: float = 0.6
+    shared_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes <= 0:
+            raise ValueError(f"footprint_bytes must be positive, got {self.footprint_bytes}")
+        if self.hot_bytes <= 0:
+            raise ValueError(f"hot_bytes must be positive, got {self.hot_bytes}")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {self.hot_fraction}")
+        if not 0.0 <= self.shared_fraction <= 1.0:
+            raise ValueError(
+                f"shared_fraction must be in [0, 1], got {self.shared_fraction}"
+            )
+
+    @property
+    def footprint_lines(self) -> float:
+        """Footprint in 64-byte cache lines."""
+        return self.footprint_bytes / CACHE_LINE_BYTES
+
+    @property
+    def hot_lines(self) -> float:
+        """Hot-set size in 64-byte cache lines."""
+        return self.hot_bytes / CACHE_LINE_BYTES
+
+    def per_thread_footprint_lines(self, threads: int, scale: float = 1.0) -> float:
+        """Footprint lines seen by one thread of a ``threads``-wide team.
+
+        The shared portion is visible to every thread; the private
+        portion is split evenly (static domain decomposition).  ``scale``
+        applies drift (e.g. MCB's growing particle working set).
+        """
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        lines = self.footprint_lines * scale
+        return lines * (self.shared_fraction + (1.0 - self.shared_fraction) / threads)

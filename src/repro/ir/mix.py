@@ -1,0 +1,101 @@
+"""ISA-neutral instruction mixes.
+
+A mix counts the abstract operations of one iteration of a basic block:
+floating-point operations, integer/address ALU operations, loads, stores
+and branches, plus the fraction of the data-parallel work a vectorising
+compiler can pack into SIMD instructions.  The counts are deliberately
+ISA-neutral (in the spirit of Shao & Brooks' ISA-independent workload
+characterisation, discussed in Section II-B of the paper); they become
+dynamic instruction counts only after :func:`repro.isa.lowering.lower_mix`
+targets a concrete binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["InstructionMix"]
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Abstract operation counts for one iteration of a basic block.
+
+    Attributes
+    ----------
+    flops:
+        Floating-point arithmetic operations.
+    int_ops:
+        Integer and address-generation ALU operations.
+    loads / stores:
+        Memory *element* accesses.  These are ISA-neutral: a vectorised
+        binary touches the same bytes with fewer instructions, which is
+        exactly why cache-miss behaviour transfers across binaries while
+        instruction counts do not.
+    branches:
+        Conditional and unconditional control transfers.
+    vectorisable:
+        Fraction in ``[0, 1]`` of the FP and memory work that the
+        compiler can vectorise for this block.
+    """
+
+    flops: float = 0.0
+    int_ops: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    branches: float = 0.0
+    vectorisable: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in ("flops", "int_ops", "loads", "stores", "branches"):
+            value = getattr(self, field)
+            if value < 0:
+                raise ValueError(f"{field} must be non-negative, got {value}")
+        if not 0.0 <= self.vectorisable <= 1.0:
+            raise ValueError(
+                f"vectorisable must be within [0, 1], got {self.vectorisable}"
+            )
+
+    @property
+    def memory_accesses(self) -> float:
+        """Total memory element accesses (loads + stores) per iteration."""
+        return self.loads + self.stores
+
+    @property
+    def abstract_ops(self) -> float:
+        """Total abstract operations per iteration (all classes)."""
+        return self.flops + self.int_ops + self.loads + self.stores + self.branches
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        """Return a copy with every operation count multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return replace(
+            self,
+            flops=self.flops * factor,
+            int_ops=self.int_ops * factor,
+            loads=self.loads * factor,
+            stores=self.stores * factor,
+            branches=self.branches * factor,
+        )
+
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        """Combine two mixes; ``vectorisable`` is op-weighted averaged."""
+        if not isinstance(other, InstructionMix):
+            return NotImplemented
+        total = self.abstract_ops + other.abstract_ops
+        if total == 0:
+            vec = 0.0
+        else:
+            vec = (
+                self.vectorisable * self.abstract_ops
+                + other.vectorisable * other.abstract_ops
+            ) / total
+        return InstructionMix(
+            flops=self.flops + other.flops,
+            int_ops=self.int_ops + other.int_ops,
+            loads=self.loads + other.loads,
+            stores=self.stores + other.stores,
+            branches=self.branches + other.branches,
+            vectorisable=vec,
+        )

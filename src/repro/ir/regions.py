@@ -1,0 +1,132 @@
+"""Region templates: the static form of a barrier point.
+
+BarrierPoint delimits application phases at OpenMP barriers; every
+dynamic inter-barrier region (*barrier point*) is an execution of some
+static parallel region.  A :class:`RegionTemplate` describes one such
+static region: its basic blocks, the work per dynamic instance, how much
+instances vary (data-dependent work), and how the region *drifts* over
+the application's run (MCB's particles scatter, BFS frontiers swell and
+shrink).  Drift is what makes barrier-point selection interesting — a
+single representative cannot cover a strongly drifting region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.blocks import BasicBlock
+
+__all__ = ["Drift", "RegionTemplate"]
+
+
+@dataclass(frozen=True)
+class Drift:
+    """Deterministic evolution of a region across its dynamic instances.
+
+    ``phase`` runs from 0 (first instance of the template) to 1 (last).
+
+    Attributes
+    ----------
+    iter_slope:
+        Linear growth of per-instance work: the iteration factor is
+        ``1 + iter_slope * phase`` (may be negative to shrink).
+    footprint_slope:
+        Linear growth of the footprint: ``1 + footprint_slope * phase``.
+    hot_decay:
+        Loss of locality: the effective hot fraction is scaled by
+        ``1 - hot_decay * phase`` (0 keeps locality, 1 destroys it).
+    """
+
+    iter_slope: float = 0.0
+    footprint_slope: float = 0.0
+    hot_decay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.iter_slope < -1.0:
+            raise ValueError("iter_slope below -1 would yield negative work")
+        if self.footprint_slope < -1.0:
+            raise ValueError("footprint_slope below -1 would yield negative footprint")
+        if not 0.0 <= self.hot_decay <= 1.0:
+            raise ValueError(f"hot_decay must be in [0, 1], got {self.hot_decay}")
+
+    def iter_factor(self, phase: np.ndarray) -> np.ndarray:
+        """Work multiplier per instance phase (clipped to stay positive)."""
+        return np.maximum(1.0 + self.iter_slope * np.asarray(phase, dtype=float), 1e-3)
+
+    def footprint_factor(self, phase: np.ndarray) -> np.ndarray:
+        """Footprint multiplier per instance phase."""
+        return np.maximum(
+            1.0 + self.footprint_slope * np.asarray(phase, dtype=float), 1e-3
+        )
+
+    def hot_factor(self, phase: np.ndarray) -> np.ndarray:
+        """Hot-fraction multiplier per instance phase."""
+        return np.clip(1.0 - self.hot_decay * np.asarray(phase, dtype=float), 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class RegionTemplate:
+    """A static OpenMP parallel region — the kind of a barrier point.
+
+    Attributes
+    ----------
+    name:
+        Region name as a developer would know it (``"CalcForce"``).
+    blocks:
+        Static basic blocks executed inside the region.
+    iterations:
+        Per-block iteration counts of one dynamic instance, summed over
+        all threads (the scheduler divides them).  Must align with
+        ``blocks``.
+    parallel:
+        Whether the region is a worksharing construct.  Serial regions
+        execute entirely on thread 0 (initialisation, reductions).
+    instance_cv:
+        Coefficient of variation of data-dependent per-instance work
+        (lognormal).  Zero for perfectly regular solvers, large for
+        frontier-driven phases such as BFS levels.
+    drift:
+        Deterministic evolution across instances.
+    """
+
+    name: str
+    blocks: tuple[BasicBlock, ...]
+    iterations: tuple[float, ...]
+    parallel: bool = True
+    instance_cv: float = 0.0
+    drift: Drift = field(default_factory=Drift)
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError(f"region {self.name!r} has no blocks")
+        if len(self.blocks) != len(self.iterations):
+            raise ValueError(
+                f"region {self.name!r}: {len(self.blocks)} blocks but "
+                f"{len(self.iterations)} iteration counts"
+            )
+        if any(it < 0 for it in self.iterations):
+            raise ValueError(f"region {self.name!r}: negative iteration count")
+        if self.instance_cv < 0:
+            raise ValueError(f"instance_cv must be non-negative, got {self.instance_cv}")
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of static blocks in the region."""
+        return len(self.blocks)
+
+    def abstract_instructions(self) -> float:
+        """Abstract operations of one nominal instance (all threads)."""
+        return float(
+            sum(it * blk.mix.abstract_ops for it, blk in zip(self.iterations, self.blocks))
+        )
+
+    def memory_accesses(self) -> float:
+        """Memory element accesses of one nominal instance (all threads)."""
+        return float(
+            sum(
+                it * blk.mix.memory_accesses
+                for it, blk in zip(self.iterations, self.blocks)
+            )
+        )

@@ -1,0 +1,33 @@
+"""Instruction-set architecture descriptors and lowering.
+
+The paper compiles each application four ways (x86_64 / ARMv8, each with
+and without vectorisation) and asks whether representative regions chosen
+from the x86_64 binaries transfer to the other three.  This package models
+the compiler side of that story: it describes the two ISAs and their
+vector extensions (AVX-256 on Intel, Advanced SIMD / NEON-128 on ARMv8),
+and lowers the ISA-neutral :class:`~repro.ir.mix.InstructionMix` of a
+basic block into dynamic instruction counts for a concrete binary.
+"""
+
+from repro.isa.descriptors import (
+    ADVSIMD,
+    ALL_BINARIES,
+    AVX,
+    BinaryConfig,
+    ISA,
+    VectorExtension,
+    binary_config,
+)
+from repro.isa.lowering import LoweredCounts, lower_mix
+
+__all__ = [
+    "ISA",
+    "VectorExtension",
+    "AVX",
+    "ADVSIMD",
+    "BinaryConfig",
+    "binary_config",
+    "ALL_BINARIES",
+    "LoweredCounts",
+    "lower_mix",
+]

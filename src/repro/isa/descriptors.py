@@ -1,0 +1,138 @@
+"""Descriptors for the two ISAs and their vector extensions.
+
+Mirrors Section III of the paper: AVX provides 16 256-bit registers on
+x86_64, Advanced SIMD provides 32 128-bit registers on ARMv8, and both
+carry arithmetic/logical/conversion/data-movement instruction families.
+The descriptor captures the properties the performance and lowering
+models need — most importantly the double-precision lane count, which is
+what creates the asymmetric dynamic-instruction reduction between the two
+vectorised binaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "ISA",
+    "VectorExtension",
+    "AVX",
+    "ADVSIMD",
+    "BinaryConfig",
+    "binary_config",
+    "ALL_BINARIES",
+]
+
+
+class ISA(enum.Enum):
+    """The two instruction set architectures evaluated by the paper."""
+
+    X86_64 = "x86_64"
+    ARMV8 = "ARMv8"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class VectorExtension:
+    """A SIMD extension as seen by the lowering model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name ("AVX", "Advanced SIMD").
+    register_bits:
+        SIMD register width in bits (256 for AVX, 128 for AdvSIMD).
+    num_registers:
+        Architectural register count (16 for AVX, 32 for AdvSIMD).
+    pack_overhead:
+        Fraction of extra data-movement instructions (shuffles, permutes,
+        lane inserts) the compiler emits per vector arithmetic
+        instruction.  AVX pays slightly more because of its in-lane
+        shuffle restrictions; AdvSIMD's larger register file needs fewer
+        spills.
+    """
+
+    name: str
+    register_bits: int
+    num_registers: int
+    pack_overhead: float
+
+    @property
+    def f64_lanes(self) -> int:
+        """Number of double-precision lanes per register."""
+        return self.register_bits // 64
+
+    @property
+    def f32_lanes(self) -> int:
+        """Number of single-precision lanes per register."""
+        return self.register_bits // 32
+
+
+AVX = VectorExtension(name="AVX", register_bits=256, num_registers=16, pack_overhead=0.14)
+ADVSIMD = VectorExtension(
+    name="Advanced SIMD", register_bits=128, num_registers=32, pack_overhead=0.10
+)
+
+#: Compiler invocations from Section IV-B of the paper, for reporting.
+_COMPILER_FLAGS = {
+    (ISA.X86_64, False): "gcc-4.8.4 -O2 -march=corei7-avx",
+    (ISA.X86_64, True): "gcc-4.8.4 -O3 -march=corei7-avx -mavx",
+    (ISA.ARMV8, False): "gcc-5.1.0 -O2 -march=armv8-a+fp",
+    (ISA.ARMV8, True): "gcc-5.1.0 -O3 -march=armv8-a+fp+simd",
+}
+
+
+@dataclass(frozen=True)
+class BinaryConfig:
+    """One of the four binary variants built per application.
+
+    The paper's configuration labels (Section VI) are reproduced by
+    :attr:`label`: ``x86_64``, ``x86_64-vect``, ``ARMv8``, ``ARMv8-vect``.
+    """
+
+    isa: ISA
+    vectorised: bool
+
+    @property
+    def vector_extension(self) -> VectorExtension | None:
+        """The SIMD extension in use, or ``None`` for scalar binaries."""
+        if not self.vectorised:
+            return None
+        return AVX if self.isa is ISA.X86_64 else ADVSIMD
+
+    @property
+    def label(self) -> str:
+        """Configuration label as printed in the paper's figures."""
+        suffix = "-vect" if self.vectorised else ""
+        return f"{self.isa.value}{suffix}"
+
+    @property
+    def compiler_flags(self) -> str:
+        """The GCC invocation the paper used for this variant."""
+        return _COMPILER_FLAGS[(self.isa, self.vectorised)]
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def binary_config(isa: ISA | str, vectorised: bool = False) -> BinaryConfig:
+    """Build a :class:`BinaryConfig`, accepting ISA names as strings."""
+    if isinstance(isa, str):
+        try:
+            isa = next(i for i in ISA if i.value.lower() == isa.lower())
+        except StopIteration:
+            names = ", ".join(i.value for i in ISA)
+            raise ValueError(f"unknown ISA {isa!r}; expected one of: {names}") from None
+    return BinaryConfig(isa=isa, vectorised=vectorised)
+
+
+#: The four binaries of Section V-A Step 1, in the paper's reporting order.
+ALL_BINARIES = (
+    BinaryConfig(ISA.X86_64, False),
+    BinaryConfig(ISA.X86_64, True),
+    BinaryConfig(ISA.ARMV8, False),
+    BinaryConfig(ISA.ARMV8, True),
+)

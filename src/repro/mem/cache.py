@@ -1,0 +1,129 @@
+"""Trace-driven set-associative LRU cache simulation (exact path).
+
+A faithful, if deliberately simple, cache model: physically indexed sets,
+true-LRU replacement, allocate-on-miss for both loads and stores.  Used
+to validate the analytic miss model and to power the
+``exact_vs_analytical`` example; the paper-scale experiments use the
+analytic path instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SimulatedMisses", "CacheSimulator", "HierarchySimulator"]
+
+
+@dataclass(frozen=True)
+class SimulatedMisses:
+    """Result of simulating a stream through one cache (or hierarchy level)."""
+
+    accesses: int
+    misses: int
+
+    @property
+    def hits(self) -> int:
+        """Number of accesses that hit."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 for an empty stream)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class CacheSimulator:
+    """One set-associative LRU cache operating on line identifiers.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    associativity:
+        Ways per set; must divide the line count evenly.
+    line_bytes:
+        Line size (both paper machines use 64 bytes).
+    """
+
+    def __init__(self, size_bytes: int, associativity: int, line_bytes: int = 64) -> None:
+        if size_bytes <= 0 or associativity < 1 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        n_lines = size_bytes // line_bytes
+        if n_lines == 0 or n_lines % associativity != 0:
+            raise ValueError(
+                f"size {size_bytes} B / line {line_bytes} B not divisible into "
+                f"{associativity}-way sets"
+            )
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_bytes = line_bytes
+        self.n_sets = n_lines // associativity
+        # Per set: list of tags, most-recently-used last.
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+
+    def reset(self) -> None:
+        """Invalidate all contents."""
+        self._sets = [[] for _ in range(self.n_sets)]
+
+    def access(self, line: int) -> bool:
+        """Access one line; return ``True`` on hit.  Misses allocate."""
+        set_idx = line % self.n_sets
+        tag = line // self.n_sets
+        ways = self._sets[set_idx]
+        try:
+            ways.remove(tag)
+        except ValueError:
+            if len(ways) >= self.associativity:
+                ways.pop(0)  # evict true-LRU
+            ways.append(tag)
+            return False
+        ways.append(tag)  # move to MRU
+        return True
+
+    def simulate(self, lines: np.ndarray) -> SimulatedMisses:
+        """Run a whole stream; returns aggregate counts (cold start)."""
+        self.reset()
+        misses = 0
+        for line in np.asarray(lines, dtype=np.int64):
+            if not self.access(int(line)):
+                misses += 1
+        return SimulatedMisses(accesses=int(len(lines)), misses=misses)
+
+    def miss_mask(self, lines: np.ndarray) -> np.ndarray:
+        """Per-access miss flags for a stream (cold start)."""
+        self.reset()
+        lines = np.asarray(lines, dtype=np.int64)
+        mask = np.zeros(lines.size, dtype=bool)
+        for i, line in enumerate(lines):
+            mask[i] = not self.access(int(line))
+        return mask
+
+
+class HierarchySimulator:
+    """An inclusive multi-level hierarchy: misses of level i feed level i+1.
+
+    Mirrors the two levels the paper reports (L1D and L2 data misses),
+    plus optionally the shared L3 for stall modelling.
+    """
+
+    def __init__(self, levels: list[CacheSimulator]) -> None:
+        if not levels:
+            raise ValueError("hierarchy needs at least one level")
+        self.levels = levels
+
+    def simulate(self, lines: np.ndarray) -> list[SimulatedMisses]:
+        """Run a stream through every level; returns per-level counts."""
+        for cache in self.levels:
+            cache.reset()
+        lines = np.asarray(lines, dtype=np.int64)
+        results: list[SimulatedMisses] = []
+        current = lines
+        for cache in self.levels:
+            mask = cache.miss_mask(current)
+            results.append(
+                SimulatedMisses(accesses=int(current.size), misses=int(mask.sum()))
+            )
+            current = current[mask]
+        return results

@@ -1,0 +1,109 @@
+"""Concrete address-stream generation (exact path).
+
+Expands a :class:`~repro.ir.memory.MemoryPattern` into a stream of cache
+line identifiers with the pattern's qualitative order.  The exact reuse
+engine (:mod:`repro.mem.reuse`) and cache simulator
+(:mod:`repro.mem.cache`) consume these streams; the tests compare the
+results against the analytic LDV/miss models to keep both paths honest.
+
+Address space layout per stream: lines ``[0, hot_lines)`` form the hot
+set; lines ``[hot_lines, hot_lines + footprint_lines)`` form the cold
+footprint.  Hot accesses are interleaved via a Bernoulli draw with the
+pattern's ``hot_fraction``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.memory import MemoryPattern, PatternKind
+
+__all__ = ["generate_stream"]
+
+_STRIDE_LINES = 7  # co-prime with power-of-two footprints → full coverage
+
+
+def _cold_indices(
+    kind: PatternKind, n: int, footprint: int, gen: np.random.Generator
+) -> np.ndarray:
+    """Cold-population line offsets (within the footprint) per kind."""
+    positions = np.arange(n, dtype=np.int64)
+    if kind is PatternKind.STREAM:
+        return positions % footprint
+    if kind is PatternKind.STRIDED:
+        return (positions * _STRIDE_LINES) % footprint
+    if kind is PatternKind.STENCIL:
+        # A moving front touching {0, +1, -1, +row, -row} around a base
+        # that advances every five accesses.
+        row = max(int(np.sqrt(footprint)), 1)
+        offsets = np.array([0, 1, -1, row, -row], dtype=np.int64)
+        base = positions // 5
+        return (base + offsets[positions % 5]) % footprint
+    if kind is PatternKind.RANDOM:
+        return gen.integers(0, footprint, size=n, dtype=np.int64)
+    if kind is PatternKind.GATHER:
+        sequential = positions % footprint
+        random = gen.integers(0, footprint, size=n, dtype=np.int64)
+        take_random = gen.random(n) < 0.5
+        return np.where(take_random, random, sequential)
+    if kind is PatternKind.POINTER_CHASE:
+        perm = gen.permutation(footprint)
+        walk = np.empty(n, dtype=np.int64)
+        node = 0
+        for i in range(n):
+            walk[i] = perm[node]
+            node = (node + 1) % footprint
+        return walk
+    raise ValueError(f"unhandled pattern kind {kind!r}")
+
+
+def generate_stream(
+    pattern: MemoryPattern,
+    n_accesses: int,
+    gen: np.random.Generator,
+    threads: int = 1,
+    footprint_scale: float = 1.0,
+    hot_scale: float = 1.0,
+) -> np.ndarray:
+    """Generate a cache-line access stream realising a memory pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The generative description.
+    n_accesses:
+        Stream length.
+    gen:
+        Random generator (hot/cold interleave and random patterns).
+    threads:
+        Team width used to scale the per-thread footprint, matching the
+        analytic path's :meth:`MemoryPattern.per_thread_footprint_lines`.
+    footprint_scale / hot_scale:
+        Drift multipliers, as carried by a trace instance.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_accesses,)`` int64 line identifiers.
+    """
+    if n_accesses < 0:
+        raise ValueError(f"n_accesses must be non-negative, got {n_accesses}")
+    hot_lines = max(int(round(pattern.hot_lines)), 1)
+    footprint = max(
+        int(round(pattern.per_thread_footprint_lines(threads, scale=footprint_scale))),
+        1,
+    )
+    hot_fraction = float(np.clip(pattern.hot_fraction * hot_scale, 0.0, 1.0))
+
+    is_hot = gen.random(n_accesses) < hot_fraction
+    n_hot = int(np.count_nonzero(is_hot))
+    n_cold = n_accesses - n_hot
+
+    # Hot accesses sweep the hot set cyclically (tight reuse distances).
+    hot_stream = np.arange(n_hot, dtype=np.int64) % hot_lines
+    cold_stream = hot_lines + _cold_indices(pattern.kind, n_cold, footprint, gen)
+
+    out = np.empty(n_accesses, dtype=np.int64)
+    out[is_hot] = hot_stream
+    out[~is_hot] = cold_stream
+    return out

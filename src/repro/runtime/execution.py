@@ -1,0 +1,119 @@
+"""Driving a program through the simulated OpenMP runtime.
+
+:func:`execute_program` turns the static :class:`~repro.ir.program.Program`
+into an :class:`~repro.ir.trace.ExecutionTrace` for a given team width and
+binary.  All randomness drawn here is **structural** — it models the
+input data (per-instance work variation, thread imbalance), so the same
+``RngTree`` node must be passed for every binary variant of a run: the
+paper's methodology relies on the x86_64 and ARMv8 executions having the
+same barrier-point sequence and per-region work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.program import Program
+from repro.ir.trace import ExecutionTrace, TemplateTrace
+from repro.isa.descriptors import BinaryConfig
+from repro.runtime.scheduler import thread_shares
+from repro.util.rng import RngTree
+
+__all__ = ["execute_program"]
+
+#: Per-thread imbalance CV as a fraction of the template's instance CV,
+#: plus a small floor from runtime/OS scheduling noise.
+_IMBALANCE_SHARE = 0.15
+_IMBALANCE_FLOOR = 0.004
+
+
+def _instance_factors(
+    n_instances: int, cv: float, gen: np.random.Generator
+) -> np.ndarray:
+    """Lognormal per-instance work factors with unit mean."""
+    if cv <= 0 or n_instances == 0:
+        return np.ones(n_instances)
+    sigma = np.sqrt(np.log1p(cv**2))
+    return gen.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=n_instances)
+
+
+def execute_program(
+    program: Program,
+    binary: BinaryConfig,
+    threads: int,
+    rng: RngTree,
+) -> ExecutionTrace:
+    """Execute a program and return its dynamic trace.
+
+    Parameters
+    ----------
+    program:
+        Static program (templates + barrier-point sequence).
+    binary:
+        Binary variant being executed.  It is recorded on the trace and
+        steers downstream lowering, but does **not** influence the
+        structural randomness — traces of different binaries from the
+        same ``rng`` node share their barrier-point sequence and work.
+    threads:
+        OpenMP team width (the paper uses 1, 2, 4, 8).
+    rng:
+        Structural randomness node, typically
+        ``tree.child("structure", app, threads)``.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+
+    counts = program.instance_counts()
+    template_traces: list[TemplateTrace] = []
+
+    for template, n_inst in zip(program.templates, counts):
+        n_inst = int(n_inst)
+        n_blocks = template.n_blocks
+        if n_inst == 0:
+            template_traces.append(
+                TemplateTrace(
+                    iters=np.zeros((0, n_blocks, threads)),
+                    footprint_scale=np.zeros(0),
+                    hot_scale=np.zeros(0),
+                    phase=np.zeros(0),
+                )
+            )
+            continue
+
+        phase = (
+            np.linspace(0.0, 1.0, n_inst) if n_inst > 1 else np.zeros(1, dtype=float)
+        )
+        gen = rng.generator("template", template.name)
+        inst_factor = _instance_factors(n_inst, template.instance_cv, gen)
+        drift_factor = template.drift.iter_factor(phase)
+
+        base = np.asarray(template.iterations, dtype=float)  # (n_blocks,)
+        totals = base[None, :] * (inst_factor * drift_factor)[:, None]
+
+        if template.parallel and threads > 1:
+            imbalance = template.instance_cv * _IMBALANCE_SHARE + _IMBALANCE_FLOOR
+            shares = thread_shares(n_inst, threads, imbalance, gen)
+            iters = totals[:, :, None] * shares[:, None, :]
+        elif template.parallel:
+            iters = totals[:, :, None]
+        else:
+            iters = np.zeros((n_inst, n_blocks, threads))
+            iters[:, :, 0] = totals
+
+        template_traces.append(
+            TemplateTrace(
+                iters=iters,
+                footprint_scale=template.drift.footprint_factor(phase),
+                hot_scale=template.drift.hot_factor(phase),
+                phase=phase,
+            )
+        )
+
+    return ExecutionTrace(
+        program=program,
+        binary=binary,
+        threads=threads,
+        template_traces=tuple(template_traces),
+        bp_template=program.sequence.copy(),
+        bp_instance=program.instance_index(),
+    )

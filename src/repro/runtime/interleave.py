@@ -1,0 +1,62 @@
+"""Thread-interleaving variability.
+
+Section V-A of the paper runs barrier-point discovery **10 times per
+configuration** because "different thread interleavings ... obtain in
+each case different SV characteristics, which can lead to the selection
+of different barrier points".  We model the effect of an interleaving on
+the collected signatures as a multiplicative jitter whose magnitude
+
+* grows with the thread count (more interleavings possible), and
+* grows as barrier points shrink (fewer events to average over — the
+  mechanism behind LULESH's unstable selections).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BASE_SIGMA",
+    "THREAD_SIGMA_SLOPE",
+    "REFERENCE_INSTRUCTIONS",
+    "signature_jitter_sigma",
+]
+
+#: Relative jitter of signature entries for a 1-thread run of a
+#: reference-size (1e6-instruction) barrier point.
+BASE_SIGMA = 0.04
+
+#: Additional relative jitter per extra thread.
+THREAD_SIGMA_SLOPE = 0.06
+
+#: Barrier-point size at which the base jitter applies; smaller regions
+#: see jitter growing like 1/sqrt(instructions).
+REFERENCE_INSTRUCTIONS = 1.0e6
+
+#: Upper clamp so degenerate, near-empty regions stay finite.
+_MAX_SIGMA = 0.35
+
+
+def signature_jitter_sigma(bp_instructions: np.ndarray, threads: int) -> np.ndarray:
+    """Per-barrier-point signature jitter (lognormal sigma).
+
+    Parameters
+    ----------
+    bp_instructions:
+        ``(n_bp,)`` abstract instruction counts of each barrier point
+        (summed over threads).
+    threads:
+        Team width of the run being instrumented.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_bp,)`` sigma of the multiplicative jitter applied to that
+        barrier point's BBV/LDV entries in one discovery run.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    instr = np.maximum(np.asarray(bp_instructions, dtype=float), 1.0)
+    size_factor = np.sqrt(REFERENCE_INSTRUCTIONS / instr)
+    thread_factor = 1.0 + THREAD_SIGMA_SLOPE * (threads - 1)
+    return np.clip(BASE_SIGMA * size_factor * thread_factor, 0.0, _MAX_SIGMA)

@@ -1,0 +1,74 @@
+"""Static OpenMP loop scheduling.
+
+All eleven proxy applications use (or default to) ``schedule(static)``,
+so a region's iteration space divides into near-equal contiguous chunks.
+Two effects make the division uneven in practice, and both matter for the
+barrier-spin model:
+
+* the *remainder*: ``N mod t`` threads receive one extra iteration;
+* *data-dependent imbalance*: equal iteration counts are not equal work
+  (graph500's frontier expansions are the extreme case).  We model this
+  as a multiplicative per-thread jitter that is part of the program's
+  structural randomness (it is the same for every binary of a given run,
+  because it is a property of the input data, not of the ISA).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["split_iterations", "thread_shares"]
+
+
+def split_iterations(total: int, threads: int) -> np.ndarray:
+    """Split ``total`` iterations over ``threads`` as ``schedule(static)`` does.
+
+    Returns an integer array of per-thread iteration counts; the first
+    ``total % threads`` threads receive the extra iteration.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    base, remainder = divmod(int(total), threads)
+    counts = np.full(threads, base, dtype=np.int64)
+    counts[:remainder] += 1
+    return counts
+
+def thread_shares(
+    n_instances: int,
+    threads: int,
+    imbalance_cv: float,
+    gen: np.random.Generator,
+) -> np.ndarray:
+    """Fractional work shares per (instance, thread), rows summing to 1.
+
+    Parameters
+    ----------
+    n_instances:
+        Number of dynamic region instances to draw shares for.
+    threads:
+        Team width.
+    imbalance_cv:
+        Coefficient of variation of the per-thread work jitter.  Zero
+        yields exact ``1/threads`` shares.
+    gen:
+        Structural random generator (input-data randomness).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_instances, threads)`` array of non-negative shares, each row
+        summing to 1, so scaling by a region's total work conserves it.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if imbalance_cv < 0:
+        raise ValueError(f"imbalance_cv must be non-negative, got {imbalance_cv}")
+    shares = np.full((n_instances, threads), 1.0 / threads)
+    if imbalance_cv > 0 and threads > 1:
+        sigma = np.sqrt(np.log1p(imbalance_cv**2))
+        jitter = gen.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=shares.shape)
+        shares = shares * jitter
+        shares /= shares.sum(axis=1, keepdims=True)
+    return shares

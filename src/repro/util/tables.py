@@ -1,0 +1,69 @@
+"""ASCII table rendering for experiment reports.
+
+Every experiment driver prints its table/figure data through these
+helpers so the benchmark output is uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["render_table", "format_float"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float with a fixed number of decimals, '-' for None/NaN."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and value != value:  # NaN
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def _stringify(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return format_float(cell)
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; cells are stringified with ``-`` for
+        ``None`` and two decimals for floats.
+    title:
+        Optional title printed above the table.
+    """
+    str_rows = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

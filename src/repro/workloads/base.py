@@ -1,0 +1,164 @@
+"""Workload base classes and construction helpers.
+
+Each proxy application (Table I) is expressed as a
+:class:`~repro.ir.program.Program`: a set of region templates with
+calibrated instruction mixes, memory patterns and per-instance work, plus
+the dynamic barrier-point sequence of its region of interest.  The
+calibration targets are the paper's published structure per app — total
+barrier points (Table III), the size distribution behind the 'Largest
+BP' and 'Total' instruction columns of Table IV, and the qualitative
+behaviours of Sections V-B/V-C (drift, tiny regions, single regions,
+architecture-dependent iteration counts).
+
+Helpers here turn a declarative description (region share of total
+instructions, instance count, per-block op fractions) into the exact
+iteration counts the IR wants.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.memory import MemoryPattern
+from repro.ir.mix import InstructionMix
+from repro.ir.program import Program
+from repro.ir.regions import Drift, RegionTemplate
+from repro.isa.descriptors import ISA
+
+__all__ = ["ProxyApp", "build_region", "flatten_sequence"]
+
+
+def build_region(
+    app_name: str,
+    region_name: str,
+    total_ops: float,
+    n_instances: int,
+    share: float,
+    blocks: Sequence[tuple[str, float, InstructionMix, MemoryPattern]],
+    parallel: bool = True,
+    instance_cv: float = 0.0,
+    drift: Drift | None = None,
+) -> RegionTemplate:
+    """Build a region template from a declarative size description.
+
+    Parameters
+    ----------
+    app_name / region_name:
+        Used to derive stable block uids (``app/region/block``).
+    total_ops:
+        The application's total abstract operations (all regions).
+    n_instances:
+        How many dynamic instances of this region the sequence holds.
+    share:
+        Fraction of ``total_ops`` executed by *all* instances together.
+    blocks:
+        ``(block_name, op_fraction, mix, pattern)`` rows; op fractions
+        are the split of the region's work across its blocks and must
+        sum to ~1.
+    parallel / instance_cv / drift:
+        Forwarded to :class:`~repro.ir.regions.RegionTemplate`.
+    """
+    if n_instances < 1:
+        raise ValueError(f"{region_name}: n_instances must be >= 1")
+    if share <= 0:
+        raise ValueError(f"{region_name}: share must be positive")
+    fractions = [b[1] for b in blocks]
+    if abs(sum(fractions) - 1.0) > 0.05:
+        raise ValueError(
+            f"{region_name}: block op fractions sum to {sum(fractions):.3f}, expected ~1"
+        )
+
+    ops_per_instance = share * total_ops / n_instances
+    built_blocks = []
+    iterations = []
+    for block_name, fraction, mix, pattern in blocks:
+        if mix.abstract_ops <= 0:
+            raise ValueError(f"{region_name}/{block_name}: empty instruction mix")
+        built_blocks.append(
+            BasicBlock(
+                uid=f"{app_name}/{region_name}/{block_name}",
+                name=block_name,
+                mix=mix,
+                pattern=pattern,
+            )
+        )
+        iterations.append(ops_per_instance * fraction / mix.abstract_ops)
+
+    return RegionTemplate(
+        name=region_name,
+        blocks=tuple(built_blocks),
+        iterations=tuple(iterations),
+        parallel=parallel,
+        instance_cv=instance_cv,
+        drift=drift or Drift(),
+    )
+
+
+def flatten_sequence(parts: Iterable[object]) -> np.ndarray:
+    """Flatten nested template-index lists into a sequence array.
+
+    Accepts ints and (recursively) iterables of ints, so callers can
+    write ``[SETUP, 38 * iteration_regions]`` naturally.
+    """
+    flat: list[int] = []
+
+    def _walk(part: object) -> None:
+        if isinstance(part, (int, np.integer)):
+            flat.append(int(part))
+        else:
+            for sub in part:  # type: ignore[union-attr]
+                _walk(sub)
+
+    _walk(parts)
+    return np.asarray(flat, dtype=np.int64)
+
+
+class ProxyApp(abc.ABC):
+    """Base class of the eleven OpenMP proxy- and mini-applications.
+
+    Subclasses define Table I metadata as class attributes and implement
+    :meth:`_build`; programs are cached per (threads, ISA) because study
+    drivers request them repeatedly.
+    """
+
+    #: Registry key, exactly as printed in Table I.
+    name: str = ""
+    #: One-line description (Table I).
+    description: str = ""
+    #: Input arguments the paper ran with (Table I).
+    input_args: str = ""
+    #: Total abstract operations of the region of interest.
+    total_ops: float = 1.0e9
+
+    def __init__(self) -> None:
+        self._programs: dict[tuple[int, ISA], Program] = {}
+
+    @abc.abstractmethod
+    def _build(self, threads: int, isa: ISA) -> Program:
+        """Construct the program for one configuration."""
+
+    def program(self, threads: int, isa: ISA) -> Program:
+        """The region-of-interest program for a configuration (cached).
+
+        ``isa`` matters only for applications whose dynamic structure is
+        architecture-dependent (HPGMG-FV's convergence); everything else
+        returns an identical program for both ISAs, as the methodology
+        requires.
+        """
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        key = (threads, isa)
+        if key not in self._programs:
+            self._programs[key] = self._build(threads, isa)
+        return self._programs[key]
+
+    def total_barrier_points(self, threads: int = 8, isa: ISA = ISA.X86_64) -> int:
+        """Total dynamic barrier points (the Table III 'Total' column)."""
+        return self.program(threads, isa).n_barrier_points
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

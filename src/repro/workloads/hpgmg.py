@@ -1,0 +1,157 @@
+"""HPGMG-FV — High Performance Geometric Multigrid, finite volume.
+
+The paper's *inapplicable* case, for two stacked reasons (Sections V-B
+and V-C):
+
+1. **Architecture-dependent iteration counts.**  HPGMG-FV iterates
+   V-cycles until the residual converges, and "the different number of
+   parallel sections is due to floating-point operations converging at
+   different rates on Intel and ARM".  We model the residual contraction
+   rate per ISA (x86_64's FMA contraction converges slightly faster) and
+   derive the V-cycle count from it: 24 cycles on x86_64 versus 26 on
+   ARMv8 → different barrier-point totals → the x86-derived selection
+   cannot be applied to ARMv8
+   (:class:`repro.core.errors.CrossArchitectureMismatch`).
+
+2. **Tiny regions.**  With the paper's small input (``4 4``), smooths on
+   coarse levels run a few tens of thousands of instructions; the
+   instrumentation overhead averages 7.3% and exceeds 50% on cache-miss
+   metrics, so even the same-ISA estimate is unusable.
+
+The paper consequently drops HPGMG-FV from the evaluation; the
+limitations experiment (``benchmarks/bench_limitations.py``) demonstrates
+both failure modes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.memory import MemoryPattern, PatternKind
+from repro.ir.mix import InstructionMix
+from repro.ir.program import Program
+from repro.isa.descriptors import ISA
+from repro.util.units import KIB, MIB
+from repro.workloads.base import ProxyApp, build_region, flatten_sequence
+
+__all__ = ["HPGMGFV", "vcycles_to_converge"]
+
+#: Residual contraction factors per V-cycle.  The x86_64 build contracts
+#: fused multiply-adds (one rounding), converging slightly faster than
+#: the ARMv8 build of the era (separate mul+add roundings in the hot
+#: smoother the paper's GCC-5.1 emitted).
+_CONTRACTION_RATE = {ISA.X86_64: 0.42, ISA.ARMV8: 0.45}
+
+#: Convergence threshold on the relative residual.
+_TOLERANCE = 1.0e-9
+
+
+def vcycles_to_converge(isa: ISA) -> int:
+    """V-cycles needed to reach the residual tolerance on one ISA.
+
+    ``ceil(log(tol) / log(rate))`` — 24 on x86_64, 26 on ARMv8.
+    """
+    rate = _CONTRACTION_RATE[isa]
+    return math.ceil(math.log(_TOLERANCE) / math.log(rate))
+
+
+class HPGMGFV(ProxyApp):
+    """Finite-volume geometric multigrid proxy (inapplicable case)."""
+
+    name = "HPGMG-FV"
+    description = (
+        "High Performance Geometric Multigrid: a proxy application for "
+        "finite volume based geometric linear solvers"
+    )
+    input_args = "4 4"
+    total_ops = 5.5e7
+
+    #: Regions of one V-cycle: per level (0..3) two smooths + a residual,
+    #: plus restrict/interpolate between levels and a bottom solve.
+    _PER_VCYCLE = 31
+
+    def _build(self, threads: int, isa: ISA) -> Program:
+        smooth_mix = InstructionMix(
+            flops=8, int_ops=3, loads=5, stores=1, branches=1, vectorisable=0.6
+        )
+        transfer_mix = InstructionMix(
+            flops=2, int_ops=2, loads=2, stores=1, branches=0.8, vectorisable=0.7
+        )
+        vcycles = vcycles_to_converge(isa)
+
+        def level_region(region: str, per_cycle: int, share: float, fp_bytes: float,
+                         mix: InstructionMix = smooth_mix):
+            return build_region(
+                self.name,
+                region,
+                self.total_ops,
+                n_instances=per_cycle * vcycles,
+                share=share,
+                blocks=[
+                    (
+                        "box_loop",
+                        1.0,
+                        mix,
+                        MemoryPattern(
+                            PatternKind.STENCIL,
+                            footprint_bytes=fp_bytes,
+                            hot_bytes=8 * KIB,
+                            hot_fraction=0.5,
+                        ),
+                    )
+                ],
+                instance_cv=0.05,
+            )
+
+        # Setup runs a fixed 5 times regardless of the V-cycle count.
+        setup = build_region(
+            self.name,
+            "setup_boxes",
+            self.total_ops,
+            n_instances=5,
+            share=0.02,
+            blocks=[
+                (
+                    "box_loop",
+                    1.0,
+                    transfer_mix,
+                    MemoryPattern(
+                        PatternKind.STENCIL,
+                        footprint_bytes=2 * MIB,
+                        hot_bytes=8 * KIB,
+                        hot_fraction=0.5,
+                    ),
+                )
+            ],
+            instance_cv=0.05,
+        )
+        templates = (
+            setup,                                                           # 0
+            level_region("smooth_level0", 4, 0.42, 2 * MIB),                 # 1
+            level_region("residual_level0", 3, 0.14, 2 * MIB),               # 2
+            level_region("smooth_level1", 4, 0.14, 512 * KIB),               # 3
+            level_region("residual_level1", 1, 0.05, 512 * KIB),             # 4
+            level_region("smooth_level2", 4, 0.05, 128 * KIB),               # 5
+            level_region("residual_level2", 1, 0.02, 128 * KIB),             # 6
+            level_region("smooth_level3", 4, 0.02, 32 * KIB),                # 7
+            level_region("bottom_solve", 1, 0.01, 16 * KIB),                 # 8
+            level_region("restrict", 4, 0.04, 512 * KIB, transfer_mix),      # 9
+            level_region("interpolate", 5, 0.04, 512 * KIB, transfer_mix),   # 10
+        )
+
+        vcycle = (
+            [1, 1, 2, 9,      # level 0: smooth x2, residual, restrict
+             3, 3, 4, 9,      # level 1
+             5, 5, 6, 9,      # level 2
+             7, 7, 8,         # level 3 + bottom solve
+             10, 7, 7,        # back up: interpolate + post-smooths
+             10, 5, 5,
+             10, 3, 3,
+             10, 1, 1,
+             2, 9, 10, 2]     # final residual checks / transfers
+        )
+        assert len(vcycle) == self._PER_VCYCLE, len(vcycle)
+        sequence = flatten_sequence([[0] * 5, [vcycle for _ in range(vcycles)]])
+        program = Program(name=self.name, templates=templates, sequence=sequence)
+        assert program.n_barrier_points == 5 + self._PER_VCYCLE * vcycles
+        return program

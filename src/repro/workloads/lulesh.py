@@ -1,0 +1,123 @@
+"""LULESH — Livermore Unstructured Lagrangian Explicit Shock Hydro.
+
+Structure modelled: 20 time steps (``-i 20``) of ~492 parallel regions
+each.  Two reduction-splitting regions only exist with more than one
+thread, giving the paper's counts exactly: 9,800 barrier points with 1
+thread, 9,840 with more (Section V-B).
+
+LULESH is the paper's fine-granularity failure case: most regions
+execute under 100k instructions, with L2 data miss rates around 10 MPKI.
+At that size the per-read instrumentation overhead (Section V-C: 3.1%
+average, up to 12.2%) and the PMU's additive read noise stop averaging
+out, and reconstruction errors climb into the 5-20% range (Figure 2g,
+Table IV) even though clustering itself behaves.  Those properties
+emerge here from the size distribution: two heavier force regions plus
+hundreds of ~90k-instruction node/element loops per step, several of
+them sitting near L2 capacity cliffs.
+"""
+
+from __future__ import annotations
+
+from repro.ir.memory import MemoryPattern, PatternKind
+from repro.ir.mix import InstructionMix
+from repro.ir.program import Program
+from repro.isa.descriptors import ISA
+from repro.util.units import KIB, MIB
+from repro.workloads.base import ProxyApp, build_region, flatten_sequence
+
+__all__ = ["LULESH"]
+
+
+class LULESH(ProxyApp):
+    """Unstructured Lagrangian explicit shock hydrodynamics proxy."""
+
+    name = "LULESH"
+    description = (
+        "Livermore Unstructured Lagrangian Explicit Shock Hydrodynamics"
+    )
+    input_args = "-s 40 -i 20"
+    total_ops = 3.0e9
+
+    N_STEPS = 20
+
+    def _build(self, threads: int, isa: ISA) -> Program:
+        stencil_mix = InstructionMix(
+            flops=9, int_ops=4, loads=6, stores=2, branches=1.5, vectorisable=0.55
+        )
+        stream_mix = InstructionMix(
+            flops=3, int_ops=2, loads=3, stores=1, branches=1, vectorisable=0.8
+        )
+
+        def region(name: str, per_step: int, share: float, fp_bytes: float,
+                   kind: PatternKind = PatternKind.STREAM,
+                   mix: InstructionMix = stream_mix, cv: float = 0.05):
+            return build_region(
+                self.name,
+                name,
+                self.total_ops,
+                n_instances=per_step * self.N_STEPS,
+                share=share,
+                blocks=[
+                    (
+                        "loop",
+                        1.0,
+                        mix,
+                        MemoryPattern(
+                            kind,
+                            footprint_bytes=fp_bytes,
+                            hot_bytes=8 * KIB,
+                            hot_fraction=0.45,
+                        ),
+                    )
+                ],
+                instance_cv=cv,
+            )
+
+        templates = (
+            region("CalcHourglassForce", 1, 0.245, 3 * MIB, PatternKind.STENCIL,
+                   stencil_mix, cv=0.012),                                   # 0
+            region("CalcVolumeForce", 1, 0.150, 3 * MIB, PatternKind.STENCIL,
+                   stencil_mix, cv=0.012),                                   # 1
+            region("IntegrateStress", 2, 0.072, 2 * MIB, cv=0.02),           # 2
+            region("CalcLagrangeElements", 2, 0.060, 2 * MIB,
+                   PatternKind.STENCIL, stencil_mix, cv=0.02),               # 3
+            region("CalcQForElems", 2, 0.055, 1536 * KIB, PatternKind.GATHER,
+                   cv=0.03),                                                 # 4
+            region("ApplyMaterialProps", 2, 0.050, 1 * MIB, cv=0.03),        # 5
+            region("UpdateVolumes", 1, 0.022, 2 * MIB, cv=0.02),             # 6
+            region("CalcSoundSpeed", 1, 0.020, 1 * MIB, cv=0.02),            # 7
+            # The tiny node/element loops: hundreds per step, ~90k
+            # instructions each, footprints straddling the L2 boundary.
+            region("NodeLoopA", 160, 0.093, 640 * KIB, cv=0.06),             # 8
+            region("NodeLoopB", 120, 0.070, 512 * KIB, cv=0.06),             # 9
+            region("ElemLoopA", 100, 0.058, 768 * KIB, PatternKind.STRIDED,
+                   cv=0.06),                                                 # 10
+            region("ElemLoopB", 60, 0.035, 384 * KIB, cv=0.06),              # 11
+            region("BoundaryLoop", 30, 0.018, 256 * KIB, cv=0.07),           # 12
+            region("CourantLoop", 8, 0.012, 512 * KIB, cv=0.05),             # 13
+            region("ReduceDtSplit", 1, 0.002, 128 * KIB, cv=0.08),           # 14
+            region("ReduceEnergySplit", 1, 0.002, 128 * KIB, cv=0.08),       # 15
+        )
+
+        step: list[int] = (
+            [0, 1]
+            + [2] * 2
+            + [3] * 2
+            + [4] * 2
+            + [5] * 2
+            + [6, 7]
+            + [8] * 160
+            + [9] * 120
+            + [10] * 100
+            + [11] * 60
+            + [12] * 30
+            + [13] * 8
+        )
+        if threads > 1:
+            step = step + [14, 15]
+        expected = 492 if threads > 1 else 490
+        assert len(step) == expected, len(step)
+        sequence = flatten_sequence([step for _ in range(self.N_STEPS)])
+        program = Program(name=self.name, templates=templates, sequence=sequence)
+        assert program.n_barrier_points == expected * self.N_STEPS
+        return program

@@ -1,0 +1,146 @@
+"""miniFE — implicit finite elements proxy (Mantevo).
+
+Structure modelled: eight finite-element assembly regions followed by
+200 CG iterations of (matvec, dot, waxpby, dot, waxpby, waxpby) → 1,208
+barrier points (Table III).  The sparse matvec parallel region dominates
+with ~85% of the instructions across its 200 instances — Section VI-C's
+observation — so a single instance is ~0.43% of the run (Table IV
+'Largest BP'), and a 9-13 element selection covers only ~0.56-0.59% of
+the instructions: the paper's best case, a 178× simulation-time
+reduction at ~0.1-1.2% error.
+"""
+
+from __future__ import annotations
+
+from repro.ir.memory import MemoryPattern, PatternKind
+from repro.ir.mix import InstructionMix
+from repro.ir.program import Program
+from repro.isa.descriptors import ISA
+from repro.util.units import KIB, MIB
+from repro.workloads.base import ProxyApp, build_region, flatten_sequence
+
+__all__ = ["MiniFE"]
+
+
+class MiniFE(ProxyApp):
+    """Unstructured implicit finite element proxy application."""
+
+    name = "miniFE"
+    description = (
+        "Implicit Finite Elements: a proxy application for unstructured "
+        "implicit finite element codes"
+    )
+    input_args = "nx=100 ny=100 nz=100"
+    total_ops = 4.0e9
+
+    N_CG_ITERATIONS = 200
+
+    def _build(self, threads: int, isa: ISA) -> Program:
+        assembly = build_region(
+            self.name,
+            "fe_assembly",
+            self.total_ops,
+            n_instances=8,
+            share=0.048,
+            blocks=[
+                (
+                    "element_matrix",
+                    1.0,
+                    InstructionMix(
+                        flops=6, int_ops=5, loads=4, stores=2, branches=1.5,
+                        vectorisable=0.3,
+                    ),
+                    MemoryPattern(
+                        PatternKind.GATHER,
+                        footprint_bytes=60 * MIB,
+                        hot_bytes=16 * KIB,
+                        hot_fraction=0.6,
+                    ),
+                ),
+            ],
+            instance_cv=0.03,
+        )
+        matvec = build_region(
+            self.name,
+            "sparse_matvec",
+            self.total_ops,
+            n_instances=self.N_CG_ITERATIONS,
+            share=0.85,
+            blocks=[
+                (
+                    "csr_row_loop",
+                    1.0,
+                    InstructionMix(
+                        flops=2, int_ops=3, loads=3, stores=0.5, branches=1,
+                        vectorisable=0.5,
+                    ),
+                    MemoryPattern(
+                        PatternKind.GATHER,
+                        footprint_bytes=230 * MIB,
+                        hot_bytes=16 * KIB,
+                        hot_fraction=0.55,
+                    ),
+                ),
+            ],
+            instance_cv=0.006,
+        )
+        dot = build_region(
+            self.name,
+            "dot_product",
+            self.total_ops,
+            n_instances=2 * self.N_CG_ITERATIONS,
+            share=0.050,
+            blocks=[
+                (
+                    "reduce",
+                    1.0,
+                    InstructionMix(
+                        flops=2, int_ops=1, loads=2, stores=0.02, branches=0.5,
+                        vectorisable=0.95,
+                    ),
+                    MemoryPattern(
+                        PatternKind.STREAM,
+                        footprint_bytes=8 * MIB,
+                        hot_bytes=8 * KIB,
+                        hot_fraction=0.25,
+                    ),
+                ),
+            ],
+            instance_cv=0.006,
+        )
+        waxpby = build_region(
+            self.name,
+            "waxpby",
+            self.total_ops,
+            n_instances=3 * self.N_CG_ITERATIONS,
+            share=0.052,
+            blocks=[
+                (
+                    "update",
+                    1.0,
+                    InstructionMix(
+                        flops=2, int_ops=1, loads=2, stores=1, branches=0.5,
+                        vectorisable=0.95,
+                    ),
+                    MemoryPattern(
+                        PatternKind.STREAM,
+                        footprint_bytes=24 * MIB,
+                        hot_bytes=8 * KIB,
+                        hot_fraction=0.25,
+                    ),
+                ),
+            ],
+            instance_cv=0.006,
+        )
+
+        iteration = [1, 2, 3, 2, 3, 3]  # matvec, dot, waxpby, dot, waxpby, waxpby
+        sequence = flatten_sequence(
+            [[0] * 8, [iteration for _ in range(self.N_CG_ITERATIONS)]]
+        )
+        program = Program(
+            name=self.name,
+            templates=(assembly, matvec, dot, waxpby),
+            sequence=sequence,
+        )
+        assert program.n_barrier_points == 1208, program.n_barrier_points
+        return program

@@ -1,0 +1,143 @@
+"""RSBench and XSBench — Monte Carlo neutron-transport proxies (ANL).
+
+Both applications are the paper's *embarrassingly parallel* limitation
+(Section V-B): "the core loop of each is a large parallel section and,
+therefore, their analysis identifies a single barrier point.  By
+definition, that barrier point is representative on both architectures,
+but the methodology does not offer any potential gain in terms of
+simulation time."
+
+Each is modelled as one giant parallel region (one barrier point): a
+cross-section lookup loop hammering large shared nuclide tables with
+essentially random indices.  RSBench's multipole algorithm trades table
+size for floating-point work relative to XSBench's table lookups.
+"""
+
+from __future__ import annotations
+
+from repro.ir.memory import MemoryPattern, PatternKind
+from repro.ir.mix import InstructionMix
+from repro.ir.program import Program
+from repro.isa.descriptors import ISA
+from repro.util.units import KIB, MIB
+from repro.workloads.base import ProxyApp, build_region, flatten_sequence
+
+__all__ = ["RSBench", "XSBench"]
+
+
+class RSBench(ProxyApp):
+    """Multipole cross-section lookup proxy: one huge parallel region."""
+
+    name = "RSBench"
+    description = (
+        "Monte Carlo particle transport simulation: a proxy application "
+        "with a 'multipole' cross section lookup algorithm"
+    )
+    input_args = "-s small"
+    total_ops = 1.5e9
+
+    def _build(self, threads: int, isa: ISA) -> Program:
+        lookup = build_region(
+            self.name,
+            "xs_lookup_loop",
+            self.total_ops,
+            n_instances=1,
+            share=1.0,
+            blocks=[
+                (
+                    "multipole_eval",
+                    0.75,
+                    InstructionMix(
+                        flops=10, int_ops=4, loads=3, stores=0.5, branches=1.5,
+                        vectorisable=0.25,
+                    ),
+                    MemoryPattern(
+                        PatternKind.RANDOM,
+                        footprint_bytes=30 * MIB,
+                        hot_bytes=16 * KIB,
+                        hot_fraction=0.6,
+                        shared_fraction=0.9,
+                    ),
+                ),
+                (
+                    "window_search",
+                    0.25,
+                    InstructionMix(
+                        flops=1, int_ops=5, loads=3, stores=0.2, branches=2.5,
+                        vectorisable=0.05,
+                    ),
+                    MemoryPattern(
+                        PatternKind.RANDOM,
+                        footprint_bytes=8 * MIB,
+                        hot_bytes=8 * KIB,
+                        hot_fraction=0.5,
+                        shared_fraction=0.9,
+                    ),
+                ),
+            ],
+            instance_cv=0.01,
+        )
+        program = Program(
+            name=self.name, templates=(lookup,), sequence=flatten_sequence([0])
+        )
+        assert program.n_barrier_points == 1
+        return program
+
+
+class XSBench(ProxyApp):
+    """Macroscopic cross-section lookup proxy: one huge parallel region."""
+
+    name = "XSBench"
+    description = (
+        "Monte Carlo particle transport simulation: a proxy application "
+        "with macroscopic neutron cross sections"
+    )
+    input_args = "-s small"
+    total_ops = 1.6e9
+
+    def _build(self, threads: int, isa: ISA) -> Program:
+        lookup = build_region(
+            self.name,
+            "macro_xs_lookup",
+            self.total_ops,
+            n_instances=1,
+            share=1.0,
+            blocks=[
+                (
+                    "grid_search",
+                    0.45,
+                    InstructionMix(
+                        flops=1, int_ops=6, loads=4, stores=0.2, branches=3,
+                        vectorisable=0.05,
+                    ),
+                    MemoryPattern(
+                        PatternKind.RANDOM,
+                        footprint_bytes=120 * MIB,
+                        hot_bytes=8 * KIB,
+                        hot_fraction=0.35,
+                        shared_fraction=0.95,
+                    ),
+                ),
+                (
+                    "xs_accumulate",
+                    0.55,
+                    InstructionMix(
+                        flops=4, int_ops=3, loads=4, stores=0.5, branches=1,
+                        vectorisable=0.3,
+                    ),
+                    MemoryPattern(
+                        PatternKind.GATHER,
+                        footprint_bytes=120 * MIB,
+                        hot_bytes=12 * KIB,
+                        hot_fraction=0.4,
+                        shared_fraction=0.95,
+                    ),
+                ),
+            ],
+            instance_cv=0.01,
+        )
+        program = Program(
+            name=self.name, templates=(lookup,), sequence=flatten_sequence([0])
+        )
+        assert program.n_barrier_points == 1
+        return program

@@ -1,0 +1,73 @@
+"""PathFinder — signature-search mini-application (Mantevo).
+
+The third embarrassingly parallel case of Section V-B: the whole search
+over the adjacency lists is one OpenMP parallel region, so BarrierPoint
+identifies a single barrier point and cannot shorten simulation.  The
+search itself is an integer- and branch-heavy pointer walk over a graph
+of labelled nodes.
+"""
+
+from __future__ import annotations
+
+from repro.ir.memory import MemoryPattern, PatternKind
+from repro.ir.mix import InstructionMix
+from repro.ir.program import Program
+from repro.isa.descriptors import ISA
+from repro.util.units import KIB, MIB
+from repro.workloads.base import ProxyApp, build_region, flatten_sequence
+
+__all__ = ["PathFinder"]
+
+
+class PathFinder(ProxyApp):
+    """Signature search through labelled adjacency graphs."""
+
+    name = "PathFinder"
+    description = "Signature-search mini-application"
+    input_args = "-x medium10.adj_list"
+    total_ops = 1.2e9
+
+    def _build(self, threads: int, isa: ISA) -> Program:
+        search = build_region(
+            self.name,
+            "signature_search",
+            self.total_ops,
+            n_instances=1,
+            share=1.0,
+            blocks=[
+                (
+                    "graph_walk",
+                    0.7,
+                    InstructionMix(
+                        flops=0.0, int_ops=7, loads=4, stores=0.5, branches=3,
+                        vectorisable=0.0,
+                    ),
+                    MemoryPattern(
+                        PatternKind.POINTER_CHASE,
+                        footprint_bytes=40 * MIB,
+                        hot_bytes=8 * KIB,
+                        hot_fraction=0.3,
+                    ),
+                ),
+                (
+                    "label_compare",
+                    0.3,
+                    InstructionMix(
+                        flops=0.0, int_ops=5, loads=3, stores=0.2, branches=2.5,
+                        vectorisable=0.0,
+                    ),
+                    MemoryPattern(
+                        PatternKind.GATHER,
+                        footprint_bytes=20 * MIB,
+                        hot_bytes=8 * KIB,
+                        hot_fraction=0.5,
+                    ),
+                ),
+            ],
+            instance_cv=0.01,
+        )
+        program = Program(
+            name=self.name, templates=(search,), sequence=flatten_sequence([0])
+        )
+        assert program.n_barrier_points == 1
+        return program

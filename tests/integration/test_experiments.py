@@ -1,0 +1,93 @@
+"""Integration tests for the experiment drivers (quick protocol)."""
+
+import pytest
+
+from repro.experiments import table1, table2
+from repro.experiments.ablations import drop_insignificant
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import StudyRunner
+from repro.experiments.table3 import PAPER_TABLE3
+from repro.workloads.registry import create
+
+QUICK = ExperimentConfig(
+    thread_counts=(4,), discovery_runs=2, repetitions=5, cache_dir=""
+)
+
+
+class TestStaticTables:
+    def test_table1_rows(self):
+        result = table1.run()
+        assert len(result.rows) == 11
+        rendered = result.render()
+        assert "AMGMk" in rendered and "XSBench" in rendered
+        assert "-s 16" in rendered  # graph500 input from Table I
+
+    def test_table2_rows(self):
+        result = table2.run()
+        assert len(result.rows) == 2
+        rendered = result.render()
+        assert "Intel Core i7-3770" in rendered
+        assert "X-Gene" in rendered
+
+
+class TestStudyRunner:
+    def test_summary_contents(self):
+        runner = StudyRunner(QUICK)
+        summary = runner.study("MCB", 4)
+        assert summary.app == "MCB"
+        assert summary.total_barrier_points == PAPER_TABLE3["MCB"][0]
+        assert set(summary.configs) == {
+            "x86_64", "x86_64-vect", "ARMv8", "ARMv8-vect",
+        }
+        cfg = summary.config("ARMv8")
+        assert 0 <= cfg.error_mean["cycles"] < 50
+        assert cfg.speedup > 1.0
+
+    def test_memory_cache_hit(self):
+        runner = StudyRunner(QUICK)
+        assert runner.study("MCB", 4) is runner.study("MCB", 4)
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        config = ExperimentConfig(
+            thread_counts=(4,), discovery_runs=2, repetitions=5,
+            cache_dir=str(tmp_path),
+        )
+        first = StudyRunner(config).study("MCB", 4)
+        second = StudyRunner(config).study("MCB", 4)  # fresh runner, from disk
+        assert second.configs["ARMv8"].error_mean == first.configs["ARMv8"].error_mean
+        assert list(tmp_path.glob("*.json"))
+
+
+class TestDropInsignificant:
+    def test_drops_and_rescales(self):
+        from repro.core.pipeline import BarrierPointPipeline, PipelineConfig
+        from repro.hw.measure import MeasurementProtocol
+
+        pipeline = BarrierPointPipeline(
+            create("miniFE"),
+            threads=4,
+            config=PipelineConfig(
+                discovery_runs=1, protocol=MeasurementProtocol(repetitions=3)
+            ),
+        )
+        base = pipeline.discover()[0]
+        reduced = drop_insignificant(base, 0.05)
+        assert reduced.k <= base.k
+        base_cover = (base.multipliers * base.weights[base.representatives]).sum()
+        red_cover = (reduced.multipliers * reduced.weights[reduced.representatives]).sum()
+        assert red_cover == pytest.approx(base_cover)
+
+    def test_zero_threshold_identity(self):
+        from repro.core.pipeline import BarrierPointPipeline, PipelineConfig
+        from repro.hw.measure import MeasurementProtocol
+
+        pipeline = BarrierPointPipeline(
+            create("MCB"),
+            threads=2,
+            config=PipelineConfig(
+                discovery_runs=1, protocol=MeasurementProtocol(repetitions=3)
+            ),
+        )
+        base = pipeline.discover()[0]
+        same = drop_insignificant(base, 0.0)
+        assert list(same.representatives) == list(base.representatives)

@@ -1,0 +1,74 @@
+"""Small-protocol integration tests for the remaining study drivers."""
+
+import pytest
+
+from repro.experiments import limitations, variability
+from repro.experiments.coalesce import run as run_coalesce
+from repro.experiments.config import ExperimentConfig
+from repro.isa.descriptors import ISA
+
+QUICK = ExperimentConfig(
+    thread_counts=(4,), discovery_runs=1, repetitions=5, cache_dir=""
+)
+
+
+class TestVariabilityStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return variability.run(QUICK, threads=4)
+
+    def test_covers_eight_apps_two_platforms(self, study):
+        assert len(study.rows) == 8 * 2
+
+    def test_row_lookup(self, study):
+        row = study.row("CoMD", "ARMv8")
+        assert row.app == "CoMD"
+        with pytest.raises(KeyError):
+            study.row("CoMD", "RISC-V")
+
+    def test_fine_grained_overhead_exceeds_coarse(self, study):
+        lulesh = study.row("LULESH", "x86_64")
+        hpcg = study.row("HPCG", "x86_64")
+        assert max(lulesh.overhead.values()) > max(hpcg.overhead.values())
+
+    def test_render_mentions_hpgmg(self, study):
+        assert "HPGMG-FV" in study.render()
+
+
+class TestLimitationsStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return limitations.run(QUICK, threads=4)
+
+    def test_four_rows(self, study):
+        assert len(study.rows) == 4
+
+    def test_row_lookup_and_render(self, study):
+        assert study.row("RSBench").total_bps == 1
+        with pytest.raises(KeyError):
+            study.row("SPECint")
+        text = study.render()
+        assert "embarrassingly parallel" in text
+
+    def test_hpgmg_counts_in_note(self, study):
+        note = study.row("HPGMG-FV").note
+        assert "749" in note and "811" in note
+
+
+class TestCoalesceStudy:
+    def test_sweep_monotone_region_counts(self):
+        study = run_coalesce(
+            QUICK, app_name="LULESH", threads=4, isa=ISA.X86_64,
+            thresholds=(0.0, 1e6, 1e7),
+        )
+        regions = [p.n_regions for p in study.points]
+        assert regions[0] == 9840
+        assert regions[0] > regions[1] > regions[2]
+        assert "coalescing" in study.render()
+
+    def test_coalescing_reduces_cycle_error(self):
+        study = run_coalesce(
+            QUICK, app_name="LULESH", threads=4, isa=ISA.X86_64,
+            thresholds=(0.0, 1e7),
+        )
+        assert study.points[1].errors["cycles"] < study.points[0].errors["cycles"]

@@ -1,0 +1,82 @@
+"""Property-based tests for the clustering machinery."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.bic import bic_score
+from repro.clustering.kmeans import kmeans
+from repro.clustering.projection import random_projection
+from repro.clustering.simpoint import SimPointOptions
+
+
+@st.composite
+def point_clouds(draw):
+    n = draw(st.integers(min_value=4, max_value=40))
+    d = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    data = np.random.default_rng(seed).random((n, d))
+    return data, seed
+
+
+@given(point_clouds(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_kmeans_labels_reference_existing_clusters(cloud, k):
+    data, seed = cloud
+    k = min(k, data.shape[0])
+    result = kmeans(data, k, np.random.default_rng(seed))
+    assert result.labels.shape == (data.shape[0],)
+    assert result.labels.min() >= 0
+    assert result.labels.max() < k
+    assert result.inertia >= 0.0
+
+
+@given(point_clouds())
+@settings(max_examples=50, deadline=None)
+def test_kmeans_one_cluster_center_is_mean(cloud):
+    data, seed = cloud
+    result = kmeans(data, 1, np.random.default_rng(seed))
+    assert np.allclose(result.centers[0], data.mean(axis=0), atol=1e-8)
+
+
+@given(point_clouds())
+@settings(max_examples=40, deadline=None)
+def test_points_assigned_to_nearest_center(cloud):
+    data, seed = cloud
+    k = min(3, data.shape[0])
+    result = kmeans(data, k, np.random.default_rng(seed))
+    d2 = ((data[:, None, :] - result.centers[None, :, :]) ** 2).sum(axis=2)
+    assert np.array_equal(result.labels, d2.argmin(axis=1))
+
+
+@given(point_clouds())
+@settings(max_examples=40, deadline=None)
+def test_bic_is_finite(cloud):
+    data, seed = cloud
+    k = min(2, data.shape[0])
+    result = kmeans(data, k, np.random.default_rng(seed))
+    score = bic_score(data, result)
+    assert np.isfinite(score)
+
+
+@given(
+    st.integers(min_value=1, max_value=60),
+    st.integers(min_value=1, max_value=400),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_projection_shape_contract(n, d, seed):
+    gen = np.random.default_rng(seed)
+    data = gen.random((n, d))
+    projected = random_projection(data, 15, gen)
+    assert projected.shape == (n, min(d, 15) if d <= 15 else 15)
+
+
+@given(st.integers(min_value=1, max_value=50_000))
+@settings(max_examples=80)
+def test_k_grid_valid_for_any_population(n_points):
+    options = SimPointOptions()
+    grid = options.k_grid(n_points)
+    assert grid == sorted(set(grid))
+    assert grid[0] == 1
+    assert grid[-1] <= max(n_points // 2, 1)
+    assert grid[-1] <= options.max_k

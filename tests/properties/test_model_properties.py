@@ -1,0 +1,137 @@
+"""Property-based tests for analytic models and methodology invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.reconstruction import reconstruct_totals
+from repro.core.selection import BarrierPointSelection
+from repro.ir.memory import PatternKind
+from repro.mem.hierarchy import miss_fraction, miss_probability
+from repro.mem.ldv import pattern_ldv_rows
+from repro.ir.memory import MemoryPattern
+from repro.runtime.scheduler import split_iterations, thread_shares
+from repro.util.stats import relative_error
+
+pattern_kinds = st.sampled_from(list(PatternKind))
+
+
+@given(
+    pattern_kinds,
+    st.floats(min_value=1.0, max_value=1e8),
+    st.floats(min_value=1.0, max_value=1e4),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=1.0, max_value=1e6),
+)
+@settings(max_examples=150)
+def test_miss_fraction_bounded(kind, fp, hot_lines, hot_frac, capacity):
+    frac = miss_fraction(kind, np.array([fp]), hot_lines, np.array([hot_frac]), capacity)
+    assert 0.0 <= frac[0] <= 1.0
+
+
+@given(
+    pattern_kinds,
+    st.floats(min_value=10.0, max_value=1e7),
+    st.floats(min_value=1.0, max_value=1e4),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=80)
+def test_miss_fraction_monotone_in_capacity(kind, fp, hot_lines, hot_frac):
+    small = miss_fraction(kind, np.array([fp]), hot_lines, np.array([hot_frac]), 100.0)
+    large = miss_fraction(kind, np.array([fp]), hot_lines, np.array([hot_frac]), 1e5)
+    assert large[0] <= small[0] + 1e-12
+
+
+@given(st.floats(min_value=1.0, max_value=1e8), st.floats(min_value=1.0, max_value=1e6))
+@settings(max_examples=100)
+def test_miss_probability_within_unit_interval(distance, capacity):
+    p = miss_probability(np.array([distance]), capacity)
+    assert 0.0 <= p[0] <= 1.0
+
+
+@given(
+    pattern_kinds,
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=0.5, max_value=4.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=80)
+def test_ldv_rows_are_distributions(kind, threads, fp_scale, hot_scale):
+    pattern = MemoryPattern(
+        kind, footprint_bytes=4 * 2**20, hot_bytes=16 * 1024, hot_fraction=0.6
+    )
+    rows = pattern_ldv_rows(
+        pattern, threads, np.array([fp_scale]), np.array([hot_scale])
+    )
+    assert np.all(rows >= 0)
+    assert rows.sum() == 1.0 or abs(rows.sum() - 1.0) < 1e-9
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=64))
+@settings(max_examples=100)
+def test_split_iterations_conserves_and_balances(total, threads):
+    counts = split_iterations(total, threads)
+    assert counts.sum() == total
+    assert counts.max() - counts.min() <= 1
+
+
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=16),
+    st.floats(min_value=0.0, max_value=0.8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=80)
+def test_thread_shares_always_normalised(n_inst, threads, cv, seed):
+    shares = thread_shares(n_inst, threads, cv, np.random.default_rng(seed))
+    assert np.all(shares >= 0)
+    assert np.allclose(shares.sum(axis=1), 1.0)
+
+
+@st.composite
+def selections_with_measurements(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    k_labels = draw(st.integers(min_value=1, max_value=min(n, 6)))
+    labels = np.array(
+        [draw(st.integers(min_value=0, max_value=k_labels - 1)) for _ in range(n)]
+    )
+    # Guarantee every label occurs.
+    labels[:k_labels] = np.arange(k_labels)
+    weights = np.array(
+        [draw(st.floats(min_value=0.1, max_value=100.0)) for _ in range(n)]
+    )
+    per_weight = np.array(
+        [draw(st.floats(min_value=0.5, max_value=2.0)) for _ in range(k_labels)]
+    )
+    # Counters proportional to weight within each cluster -> homogeneous.
+    values = weights[:, None, None] * per_weight[labels][:, None, None]
+    values = np.repeat(values, 4, axis=2)  # (n, 1, 4)
+    reps = [int(np.flatnonzero(labels == c)[0]) for c in range(k_labels)]
+    mult = np.array([weights[labels == c].sum() / weights[r] for c, r in enumerate(reps)])
+    selection = BarrierPointSelection(
+        representatives=np.asarray(reps, dtype=np.int64),
+        multipliers=mult,
+        labels=labels,
+        weights=weights,
+        run_index=0,
+    )
+    return selection, values
+
+
+@given(selections_with_measurements())
+@settings(max_examples=60)
+def test_reconstruction_exact_for_homogeneous_clusters(case):
+    """If counters scale with weight inside each cluster, the
+    multiplier-weighted representative reproduces the totals exactly."""
+    selection, values = case
+    estimate = reconstruct_totals(selection, values)
+    reference = values.sum(axis=0)
+    assert np.all(relative_error(estimate, reference) < 1e-9)
+
+
+@given(selections_with_measurements())
+@settings(max_examples=60)
+def test_selection_fractions_within_bounds(case):
+    selection, _ = case
+    assert 0 < selection.selected_instruction_fraction <= 1.0 + 1e-9
+    assert 0 < selection.largest_instruction_fraction <= selection.selected_instruction_fraction + 1e-9
+    assert selection.speedup >= 1.0 - 1e-9

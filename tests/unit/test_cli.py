@@ -1,0 +1,31 @@
+"""Tests for the command-line interface (light experiments only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "AMGMk" in out and "XSBench" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "i7-3770" in out and "X-Gene" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 11
+        assert "LULESH" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_quick_flag_parses(self, capsys):
+        # table2 ignores the config but the flag must parse.
+        assert main(["table2", "--quick", "--no-cache", "--seed", "7"]) == 0

@@ -1,0 +1,142 @@
+"""Tests for the SimPoint-equivalent clustering machinery."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.bic import bic_score
+from repro.clustering.kmeans import kmeans
+from repro.clustering.projection import random_projection
+from repro.clustering.simpoint import SimPointOptions, run_simpoint
+
+
+def _blobs(n_per, centers, spread, seed=0):
+    gen = np.random.default_rng(seed)
+    parts = [
+        center + spread * gen.standard_normal((n_per, len(center)))
+        for center in centers
+    ]
+    return np.vstack(parts)
+
+
+class TestRandomProjection:
+    def test_reduces_dimensionality(self):
+        gen = np.random.default_rng(0)
+        data = gen.random((50, 200))
+        projected = random_projection(data, 15, gen)
+        assert projected.shape == (50, 15)
+
+    def test_small_input_passthrough(self):
+        gen = np.random.default_rng(0)
+        data = gen.random((10, 5))
+        assert np.array_equal(random_projection(data, 15, gen), data)
+
+    def test_preserves_relative_distances(self):
+        gen = np.random.default_rng(1)
+        data = _blobs(20, [np.zeros(100), np.full(100, 5.0)], 0.1)
+        projected = random_projection(data, 15, gen)
+        within = np.linalg.norm(projected[0] - projected[1])
+        across = np.linalg.norm(projected[0] - projected[25])
+        assert across > 3 * within
+
+    def test_deterministic_given_generator(self):
+        data = np.random.default_rng(2).random((30, 50))
+        a = random_projection(data, 10, np.random.default_rng(7))
+        b = random_projection(data, 10, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            random_projection(np.zeros((3, 5)), 0, np.random.default_rng(0))
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        data = _blobs(30, [(0, 0), (10, 10), (-10, 10)], 0.5)
+        result = kmeans(data, 3, np.random.default_rng(0))
+        # Each blob should be pure.
+        for start in (0, 30, 60):
+            assert len(set(result.labels[start : start + 30].tolist())) == 1
+
+    def test_inertia_decreases_with_k(self):
+        data = _blobs(20, [(0, 0), (5, 5), (9, 0)], 1.0)
+        gen = np.random.default_rng(0)
+        inertias = [kmeans(data, k, gen, n_init=3).inertia for k in (1, 2, 3)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_k_equals_n_zero_inertia(self):
+        data = _blobs(2, [(0, 0), (8, 8)], 0.0)
+        result = kmeans(data, 4, np.random.default_rng(0))
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_weighted_centroid_pull(self):
+        data = np.array([[0.0], [1.0], [100.0]])
+        weights = np.array([1.0, 1.0, 1e-9])
+        result = kmeans(data, 1, np.random.default_rng(0), weights=weights)
+        assert result.centers[0, 0] == pytest.approx(0.5, abs=0.01)
+
+    def test_labels_within_range(self):
+        data = np.random.default_rng(3).random((40, 4))
+        result = kmeans(data, 5, np.random.default_rng(0))
+        assert result.labels.min() >= 0 and result.labels.max() < 5
+
+    def test_invalid_k(self):
+        data = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(data, 4, np.random.default_rng(0))
+
+    def test_invalid_weights(self):
+        data = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(data, 1, np.random.default_rng(0), weights=np.array([1.0, -1.0, 1.0]))
+
+
+class TestBic:
+    def test_prefers_true_k_on_blobs(self):
+        data = _blobs(40, [(0, 0), (20, 0), (0, 20)], 0.8)
+        gen = np.random.default_rng(0)
+        scores = {
+            k: bic_score(data, kmeans(data, k, gen, n_init=3)) for k in (1, 2, 3, 5)
+        }
+        assert scores[3] > scores[1]
+        assert scores[3] > scores[2]
+
+    def test_weighted_total(self):
+        data = _blobs(10, [(0, 0), (9, 9)], 0.3)
+        result = kmeans(data, 2, np.random.default_rng(0))
+        weighted = bic_score(data, result, weights=np.full(20, 5.0))
+        unweighted = bic_score(data, result)
+        assert weighted != unweighted
+
+
+class TestRunSimpoint:
+    def test_k_grid_caps(self):
+        options = SimPointOptions(max_k=20)
+        grid = options.k_grid(10)
+        assert max(grid) <= 5  # n // 2
+        grid = options.k_grid(10_000)
+        assert max(grid) == 20
+
+    def test_chooses_reasonable_k_for_blobs(self):
+        data = _blobs(50, [(0, 0), (30, 0), (0, 30), (30, 30)], 0.5, seed=5)
+        weights = np.ones(200)
+        choice = run_simpoint(data, weights, np.random.default_rng(0))
+        assert 4 <= choice.k <= 8
+
+    def test_single_point_cluster(self):
+        data = np.zeros((1, 3))
+        choice = run_simpoint(data, np.ones(1), np.random.default_rng(0))
+        assert choice.k == 1
+
+    def test_bic_by_k_populated(self):
+        data = _blobs(20, [(0, 0), (9, 9)], 0.4)
+        choice = run_simpoint(data, np.ones(40), np.random.default_rng(0))
+        assert len(choice.bic_by_k) >= 2
+        assert choice.k in choice.bic_by_k
+
+    def test_invalid_signatures(self):
+        with pytest.raises(ValueError):
+            run_simpoint(np.zeros((0, 3)), np.ones(0), np.random.default_rng(0))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SimPointOptions(bic_threshold=0.0)

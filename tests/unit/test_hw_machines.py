@@ -1,0 +1,137 @@
+"""Tests for machine descriptors, PMU noise and overhead models."""
+
+import numpy as np
+import pytest
+
+from repro.hw.machines import APM_XGENE, INTEL_I7_3770, machine_for
+from repro.hw.overhead import DEFAULT_OVERHEAD, InstrumentationOverhead
+from repro.hw.pmu import N_METRICS, PMU_METRICS, PmuNoiseSpec
+from repro.ir.memory import PatternKind
+from repro.isa.descriptors import ISA
+
+
+class TestMachineTopology:
+    def test_table2_parameters(self):
+        intel = INTEL_I7_3770
+        assert intel.freq_ghz == 3.4
+        assert intel.cores == 4 and intel.smt_per_core == 2
+        assert intel.l1d.size_bytes == 32 * 1024
+        assert intel.l2.size_bytes == 256 * 1024
+        assert intel.l3.size_bytes == 8 * 1024 * 1024
+
+        xgene = APM_XGENE
+        assert xgene.freq_ghz == 2.4
+        assert xgene.cores == 8 and xgene.clusters == 4
+        assert xgene.l2_shared_by_cluster
+
+    def test_machine_for(self):
+        assert machine_for(ISA.X86_64) is INTEL_I7_3770
+        assert machine_for(ISA.ARMV8) is APM_XGENE
+
+    def test_intel_smt_sharing(self):
+        intel = INTEL_I7_3770
+        assert intel.l1_sharers(4) == 1
+        assert intel.l1_sharers(8) == 2
+        assert intel.l2_sharers(8) == 2
+        assert intel.smt_active(8)
+        assert not intel.smt_active(4)
+
+    def test_xgene_cluster_sharing(self):
+        xgene = APM_XGENE
+        assert xgene.l1_sharers(8) == 1  # L1 private always
+        assert xgene.l2_sharers(4) == 1  # one thread per cluster
+        assert xgene.l2_sharers(8) == 2  # pairs share the cluster L2
+        assert not xgene.smt_active(8)
+
+    def test_max_threads_enforced(self):
+        with pytest.raises(ValueError):
+            INTEL_I7_3770.validate_threads(9)
+        with pytest.raises(ValueError):
+            APM_XGENE.l1_sharers(16)
+
+    def test_memory_penalty_grows_with_threads(self):
+        m = INTEL_I7_3770
+        assert m.memory_penalty(8) > m.memory_penalty(1)
+
+    def test_table_rows_mention_key_specs(self):
+        platform, desc = INTEL_I7_3770.table_row()
+        assert platform == "x86_64"
+        assert "3.4 GHz" in desc and "32 KiB" in desc and "8 MiB" in desc
+        platform, desc = APM_XGENE.table_row()
+        assert platform == "ARMv8"
+        assert "4 clusters x 2 cores" in desc
+
+    def test_xgene_l1_undercounts_streams_only(self):
+        l1 = APM_XGENE.l1d
+        assert l1.capture_rate(PatternKind.STREAM) < 0.2
+        assert l1.capture_rate(PatternKind.RANDOM) == 1.0
+        assert INTEL_I7_3770.l1d.capture_rate(PatternKind.STREAM) == 1.0
+
+
+class TestPmuNoise:
+    def setup_method(self):
+        self.spec = PmuNoiseSpec(
+            sigma_rel=(0.01, 0.01, 0.01, 0.01),
+            sigma_abs=(100.0, 100.0, 100.0, 100.0),
+            interference_slope=0.1,
+            unpinned_factor=3.0,
+        )
+
+    def test_sigma_shape(self):
+        true = np.ones((5, 2, N_METRICS)) * 1e6
+        sigma = self.spec.read_sigma(true, threads=1, pinned=True)
+        assert sigma.shape == true.shape
+
+    def test_relative_term_dominates_large_counts(self):
+        true = np.full((1, N_METRICS), 1e9)
+        sigma = self.spec.read_sigma(true, 1, True)
+        assert sigma[0, 0] == pytest.approx(1e7, rel=0.01)
+
+    def test_absolute_term_dominates_small_counts(self):
+        true = np.full((1, N_METRICS), 10.0)
+        sigma = self.spec.read_sigma(true, 1, True)
+        assert sigma[0, 0] == pytest.approx(100.0, rel=0.01)
+
+    def test_unpinned_triples_relative_noise(self):
+        true = np.full((1, N_METRICS), 1e9)
+        pinned = self.spec.read_sigma(true, 1, True)
+        unpinned = self.spec.read_sigma(true, 1, False)
+        assert unpinned[0, 0] == pytest.approx(3 * pinned[0, 0], rel=0.01)
+
+    def test_interference_grows_with_threads(self):
+        true = np.full((1, N_METRICS), 1e9)
+        one = self.spec.read_sigma(true, 1, True)
+        eight = self.spec.read_sigma(true, 8, True)
+        assert eight[0, 0] > one[0, 0]
+
+    def test_cv_blows_up_for_tiny_counts(self):
+        # The CoMD-on-ARM effect: tiny counts, huge CV.
+        tiny = np.full((1, N_METRICS), 150.0)
+        cv = self.spec.coefficient_of_variation(tiny, 1, True)
+        assert cv[0, 0] > 0.5
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            PmuNoiseSpec(sigma_rel=(0.1,), sigma_abs=(1.0,))
+
+
+class TestOverhead:
+    def test_per_read_vector_order(self):
+        ovh = InstrumentationOverhead(cycles=1, instructions=2, l1d_misses=3, l2d_misses=4)
+        assert list(ovh.per_read()) == [1, 2, 3, 4]
+
+    def test_apply_adds_reads(self):
+        true = np.zeros((2, N_METRICS))
+        biased = DEFAULT_OVERHEAD.apply(true, reads=2.0)
+        assert np.allclose(biased, 2.0 * DEFAULT_OVERHEAD.per_read())
+
+    def test_overhead_share_shrinks_with_region_size(self):
+        small = np.full((1, N_METRICS), 1e5)
+        large = np.full((1, N_METRICS), 1e9)
+        rel_small = (DEFAULT_OVERHEAD.apply(small) - small) / small
+        rel_large = (DEFAULT_OVERHEAD.apply(large) - large) / large
+        assert np.all(rel_small > rel_large)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            InstrumentationOverhead(cycles=-1)

@@ -1,0 +1,147 @@
+"""Tests for the performance model and measurement protocol."""
+
+import numpy as np
+import pytest
+
+from repro.hw.machines import APM_XGENE, INTEL_I7_3770
+from repro.hw.measure import (
+    MeasurementProtocol,
+    measure_barrier_point_means,
+    measure_roi_totals,
+    sample_barrier_point_reps,
+    sample_roi_reps,
+    variability_cv,
+)
+from repro.hw.perf import PerfModel
+from repro.hw.pmu import CYCLES, INSTRUCTIONS, L1D_MISSES, L2D_MISSES
+from repro.isa.descriptors import BinaryConfig, ISA
+from repro.runtime.execution import execute_program
+
+
+@pytest.fixture
+def x86_trace(toy_program, rng_tree):
+    return execute_program(
+        toy_program, BinaryConfig(ISA.X86_64, False), 4, rng_tree.child("structure")
+    )
+
+
+@pytest.fixture
+def x86_counters(x86_trace, rng_tree):
+    return PerfModel(rng_tree.child("uarch")).true_counters(x86_trace, INTEL_I7_3770)
+
+
+class TestPerfModel:
+    def test_shape(self, x86_counters, toy_program):
+        assert x86_counters.values.shape == (toy_program.n_barrier_points, 4, 4)
+
+    def test_all_counters_positive(self, x86_counters):
+        assert np.all(x86_counters.values[:, :, CYCLES] > 0)
+        assert np.all(x86_counters.values[:, :, INSTRUCTIONS] > 0)
+        assert np.all(x86_counters.values[:, :, L1D_MISSES] >= 0)
+
+    def test_l2_misses_never_exceed_l1(self, x86_counters):
+        assert np.all(
+            x86_counters.values[:, :, L2D_MISSES]
+            <= x86_counters.values[:, :, L1D_MISSES] + 1e-9
+        )
+
+    def test_cycles_exceed_naive_instruction_time(self, x86_counters):
+        # CPI < 4 would be generous; just check cycles scale with work.
+        cpi = (
+            x86_counters.values[:, :, CYCLES].sum()
+            / x86_counters.values[:, :, INSTRUCTIONS].sum()
+        )
+        assert 0.3 < cpi < 50
+
+    def test_deterministic(self, x86_trace, rng_tree):
+        a = PerfModel(rng_tree.child("uarch")).true_counters(x86_trace, INTEL_I7_3770)
+        b = PerfModel(rng_tree.child("uarch")).true_counters(x86_trace, INTEL_I7_3770)
+        assert np.array_equal(a.values, b.values)
+
+    def test_wrong_machine_rejected(self, x86_trace, rng_tree):
+        with pytest.raises(ValueError, match="cannot run"):
+            PerfModel(rng_tree.child("uarch")).true_counters(x86_trace, APM_XGENE)
+
+    def test_isa_changes_counters(self, toy_program, rng_tree):
+        structure = rng_tree.child("structure")
+        x86 = execute_program(toy_program, BinaryConfig(ISA.X86_64, False), 2, structure)
+        arm = execute_program(toy_program, BinaryConfig(ISA.ARMV8, False), 2, structure)
+        model = PerfModel(rng_tree.child("uarch"))
+        cx = model.true_counters(x86, INTEL_I7_3770)
+        ca = model.true_counters(arm, APM_XGENE)
+        assert not np.allclose(cx.values, ca.values)
+        # But instruction counts stay within a few percent (Blem et al.).
+        ratio = ca.totals()[:, INSTRUCTIONS].sum() / cx.totals()[:, INSTRUCTIONS].sum()
+        assert 0.85 < ratio < 1.25
+
+    def test_vectorisation_reduces_instructions(self, toy_program, rng_tree):
+        structure = rng_tree.child("structure")
+        scalar = execute_program(toy_program, BinaryConfig(ISA.X86_64, False), 2, structure)
+        vector = execute_program(toy_program, BinaryConfig(ISA.X86_64, True), 2, structure)
+        model = PerfModel(rng_tree.child("uarch"))
+        s = model.true_counters(scalar, INTEL_I7_3770)
+        v = model.true_counters(vector, INTEL_I7_3770)
+        assert v.totals()[:, INSTRUCTIONS].sum() < s.totals()[:, INSTRUCTIONS].sum()
+        # Memory behaviour barely moves: same bytes touched.
+        l1_ratio = v.totals()[:, L1D_MISSES].sum() / s.totals()[:, L1D_MISSES].sum()
+        assert 0.9 < l1_ratio < 1.1
+
+    def test_bp_instructions_weights(self, x86_counters):
+        weights = x86_counters.bp_instructions()
+        assert weights.shape == (30,)
+        assert weights.sum() == pytest.approx(
+            x86_counters.totals()[:, INSTRUCTIONS].sum()
+        )
+
+    def test_totals_are_sum_over_bps(self, x86_counters):
+        assert np.allclose(x86_counters.totals(), x86_counters.values.sum(axis=0))
+
+
+class TestMeasurement:
+    def test_mean_close_to_true_for_many_reps(self, x86_counters, rng_tree):
+        protocol = MeasurementProtocol(repetitions=10_000)
+        measured = measure_barrier_point_means(
+            x86_counters, INTEL_I7_3770, protocol, rng_tree.child("m"),
+            instrumented=False,
+        )
+        err = np.abs(measured - x86_counters.values) / np.maximum(x86_counters.values, 1)
+        assert np.median(err) < 0.01
+
+    def test_instrumented_mean_biased_upwards(self, x86_counters, rng_tree):
+        protocol = MeasurementProtocol(repetitions=100_000)
+        instrumented = measure_barrier_point_means(
+            x86_counters, INTEL_I7_3770, protocol, rng_tree.child("m"), instrumented=True
+        )
+        clean = measure_barrier_point_means(
+            x86_counters, INTEL_I7_3770, protocol, rng_tree.child("m"), instrumented=False
+        )
+        assert instrumented[:, :, INSTRUCTIONS].sum() > clean[:, :, INSTRUCTIONS].sum()
+
+    def test_roi_totals_match_true_totals(self, x86_counters, rng_tree):
+        protocol = MeasurementProtocol(repetitions=10_000)
+        roi = measure_roi_totals(x86_counters, INTEL_I7_3770, protocol, rng_tree.child("m"))
+        err = np.abs(roi - x86_counters.totals()) / x86_counters.totals()
+        assert err.max() < 0.05
+
+    def test_rep_samples_shape(self, x86_counters, rng_tree):
+        protocol = MeasurementProtocol(repetitions=7)
+        indices = np.array([0, 3, 5])
+        samples = sample_barrier_point_reps(
+            x86_counters, INTEL_I7_3770, protocol, rng_tree.child("m"), indices
+        )
+        assert samples.shape == (7, 3, 4, 4)
+        assert np.all(samples >= 0)
+
+    def test_roi_reps_shape(self, x86_counters, rng_tree):
+        protocol = MeasurementProtocol(repetitions=5)
+        samples = sample_roi_reps(x86_counters, INTEL_I7_3770, protocol, rng_tree.child("m"))
+        assert samples.shape == (5, 4, 4)
+
+    def test_variability_cv_shape_and_positivity(self, x86_counters):
+        cv = variability_cv(x86_counters, INTEL_I7_3770)
+        assert cv.shape == x86_counters.values.shape
+        assert np.all(cv >= 0)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(repetitions=0)

@@ -1,0 +1,86 @@
+"""Tests for the instruction mix and memory pattern IR."""
+
+import pytest
+
+from repro.ir.memory import MemoryPattern, PatternKind
+from repro.ir.mix import InstructionMix
+
+
+class TestInstructionMix:
+    def test_abstract_ops_sum(self):
+        mix = InstructionMix(flops=1, int_ops=2, loads=3, stores=4, branches=5)
+        assert mix.abstract_ops == 15
+
+    def test_memory_accesses(self):
+        mix = InstructionMix(loads=3, stores=4)
+        assert mix.memory_accesses == 7
+
+    def test_scaled(self):
+        mix = InstructionMix(flops=2, loads=1, vectorisable=0.5)
+        doubled = mix.scaled(2.0)
+        assert doubled.flops == 4
+        assert doubled.loads == 2
+        assert doubled.vectorisable == 0.5  # fraction unchanged
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix(flops=1).scaled(-1.0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix(flops=-1)
+
+    def test_vectorisable_bounds(self):
+        with pytest.raises(ValueError):
+            InstructionMix(vectorisable=1.5)
+
+    def test_add_sums_counts(self):
+        a = InstructionMix(flops=1, loads=1, vectorisable=1.0)
+        b = InstructionMix(flops=3, loads=1, vectorisable=0.0)
+        c = a + b
+        assert c.flops == 4
+        assert c.loads == 2
+
+    def test_add_weights_vectorisable(self):
+        a = InstructionMix(flops=2, vectorisable=1.0)
+        b = InstructionMix(flops=2, vectorisable=0.0)
+        assert (a + b).vectorisable == pytest.approx(0.5)
+
+
+class TestMemoryPattern:
+    def test_lines_conversion(self):
+        pattern = MemoryPattern(PatternKind.STREAM, footprint_bytes=64 * 100)
+        assert pattern.footprint_lines == 100
+
+    def test_per_thread_partitioning(self):
+        pattern = MemoryPattern(PatternKind.STREAM, footprint_bytes=64 * 800)
+        assert pattern.per_thread_footprint_lines(8) == pytest.approx(100)
+
+    def test_shared_fraction_not_partitioned(self):
+        pattern = MemoryPattern(
+            PatternKind.RANDOM, footprint_bytes=64 * 800, shared_fraction=1.0
+        )
+        assert pattern.per_thread_footprint_lines(8) == pytest.approx(800)
+
+    def test_mixed_sharing(self):
+        pattern = MemoryPattern(
+            PatternKind.RANDOM, footprint_bytes=64 * 100, shared_fraction=0.5
+        )
+        assert pattern.per_thread_footprint_lines(2) == pytest.approx(75)
+
+    def test_drift_scale(self):
+        pattern = MemoryPattern(PatternKind.STREAM, footprint_bytes=64 * 100)
+        assert pattern.per_thread_footprint_lines(1, scale=2.0) == pytest.approx(200)
+
+    def test_invalid_footprint(self):
+        with pytest.raises(ValueError):
+            MemoryPattern(PatternKind.STREAM, footprint_bytes=0)
+
+    def test_invalid_hot_fraction(self):
+        with pytest.raises(ValueError):
+            MemoryPattern(PatternKind.STREAM, footprint_bytes=64, hot_fraction=2.0)
+
+    def test_invalid_threads(self):
+        pattern = MemoryPattern(PatternKind.STREAM, footprint_bytes=64)
+        with pytest.raises(ValueError):
+            pattern.per_thread_footprint_lines(0)

@@ -1,0 +1,97 @@
+"""Tests for region templates, drift, programs and traces."""
+
+import numpy as np
+import pytest
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.memory import MemoryPattern, PatternKind
+from repro.ir.mix import InstructionMix
+from repro.ir.program import Program
+from repro.ir.regions import Drift, RegionTemplate
+
+
+def _block(uid="t/r/b"):
+    return BasicBlock(
+        uid,
+        "b",
+        InstructionMix(flops=2, loads=1, stores=1, branches=0.5),
+        MemoryPattern(PatternKind.STREAM, footprint_bytes=2**16),
+    )
+
+
+class TestDrift:
+    def test_defaults_are_identity(self):
+        drift = Drift()
+        phase = np.linspace(0, 1, 5)
+        assert np.allclose(drift.iter_factor(phase), 1.0)
+        assert np.allclose(drift.footprint_factor(phase), 1.0)
+        assert np.allclose(drift.hot_factor(phase), 1.0)
+
+    def test_linear_growth(self):
+        drift = Drift(iter_slope=0.5, footprint_slope=1.0, hot_decay=0.4)
+        assert drift.iter_factor(np.array(1.0)) == pytest.approx(1.5)
+        assert drift.footprint_factor(np.array(1.0)) == pytest.approx(2.0)
+        assert drift.hot_factor(np.array(1.0)) == pytest.approx(0.6)
+
+    def test_iter_factor_never_negative(self):
+        drift = Drift(iter_slope=-0.999)
+        assert drift.iter_factor(np.array(1.0)) > 0
+
+    def test_invalid_hot_decay(self):
+        with pytest.raises(ValueError):
+            Drift(hot_decay=1.5)
+
+
+class TestRegionTemplate:
+    def test_block_iteration_alignment_enforced(self):
+        with pytest.raises(ValueError, match="iteration counts"):
+            RegionTemplate("r", (_block(),), (1.0, 2.0))
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ValueError, match="no blocks"):
+            RegionTemplate("r", (), ())
+
+    def test_abstract_instructions(self):
+        template = RegionTemplate("r", (_block(),), (10.0,))
+        assert template.abstract_instructions() == pytest.approx(45.0)
+
+    def test_memory_accesses(self):
+        template = RegionTemplate("r", (_block(),), (10.0,))
+        assert template.memory_accesses() == pytest.approx(20.0)
+
+
+class TestProgram:
+    def _program(self, sequence):
+        t0 = RegionTemplate("a", (_block("p/a/b"),), (5.0,))
+        t1 = RegionTemplate("b", (_block("p/b/b"),), (7.0,))
+        return Program("p", (t0, t1), np.asarray(sequence))
+
+    def test_n_barrier_points(self):
+        assert self._program([0, 1, 0]).n_barrier_points == 3
+
+    def test_instance_counts(self):
+        program = self._program([0, 1, 0, 0])
+        assert list(program.instance_counts()) == [3, 1]
+
+    def test_instance_index_increments_per_template(self):
+        program = self._program([0, 1, 0, 1, 0])
+        assert list(program.instance_index()) == [0, 0, 1, 1, 2]
+
+    def test_phases_in_unit_interval(self):
+        phases = self._program([0, 0, 0, 1]).phases()
+        assert phases.min() >= 0.0 and phases.max() <= 1.0
+
+    def test_single_instance_phase_zero(self):
+        program = self._program([0, 1])
+        assert program.phases()[1] == 0.0
+
+    def test_out_of_range_sequence_rejected(self):
+        with pytest.raises(ValueError, match="references template"):
+            self._program([0, 2])
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            self._program([])
+
+    def test_nominal_instructions_positive(self):
+        assert self._program([0, 1]).nominal_instructions() > 0

@@ -1,0 +1,103 @@
+"""Tests for ISA descriptors and instruction lowering."""
+
+import pytest
+
+from repro.ir.mix import InstructionMix
+from repro.isa.descriptors import (
+    ADVSIMD,
+    ALL_BINARIES,
+    AVX,
+    BinaryConfig,
+    ISA,
+    binary_config,
+)
+from repro.isa.lowering import lower_mix
+
+
+class TestVectorExtensions:
+    def test_avx_geometry(self):
+        assert AVX.register_bits == 256
+        assert AVX.num_registers == 16
+        assert AVX.f64_lanes == 4
+        assert AVX.f32_lanes == 8
+
+    def test_advsimd_geometry(self):
+        assert ADVSIMD.register_bits == 128
+        assert ADVSIMD.num_registers == 32
+        assert ADVSIMD.f64_lanes == 2
+
+
+class TestBinaryConfig:
+    def test_labels(self):
+        assert BinaryConfig(ISA.X86_64, False).label == "x86_64"
+        assert BinaryConfig(ISA.X86_64, True).label == "x86_64-vect"
+        assert BinaryConfig(ISA.ARMV8, False).label == "ARMv8"
+        assert BinaryConfig(ISA.ARMV8, True).label == "ARMv8-vect"
+
+    def test_vector_extension_selection(self):
+        assert BinaryConfig(ISA.X86_64, True).vector_extension is AVX
+        assert BinaryConfig(ISA.ARMV8, True).vector_extension is ADVSIMD
+        assert BinaryConfig(ISA.X86_64, False).vector_extension is None
+
+    def test_compiler_flags_match_paper(self):
+        assert "-O2 -march=corei7-avx" in BinaryConfig(ISA.X86_64, False).compiler_flags
+        assert "-mavx" in BinaryConfig(ISA.X86_64, True).compiler_flags
+        assert "+fp+simd" in BinaryConfig(ISA.ARMV8, True).compiler_flags
+
+    def test_binary_config_from_string(self):
+        assert binary_config("x86_64").isa is ISA.X86_64
+        assert binary_config("armv8", True).vectorised is True
+
+    def test_unknown_isa_rejected(self):
+        with pytest.raises(ValueError, match="unknown ISA"):
+            binary_config("riscv")
+
+    def test_all_binaries_covers_four_variants(self):
+        assert len(ALL_BINARIES) == 4
+        assert len({b.label for b in ALL_BINARIES}) == 4
+
+
+class TestLowering:
+    def setup_method(self):
+        self.mix = InstructionMix(
+            flops=8, int_ops=4, loads=4, stores=2, branches=2, vectorisable=0.75
+        )
+
+    def test_scalar_total_close_to_abstract(self):
+        for isa in ISA:
+            lowered = lower_mix(self.mix, BinaryConfig(isa, False))
+            assert lowered.total == pytest.approx(self.mix.abstract_ops, rel=0.1)
+
+    def test_scalar_has_no_vector_instructions(self):
+        lowered = lower_mix(self.mix, BinaryConfig(ISA.X86_64, False))
+        assert lowered.vector_instructions == 0.0
+
+    def test_vectorisation_reduces_instructions(self):
+        for isa in ISA:
+            scalar = lower_mix(self.mix, BinaryConfig(isa, False))
+            vector = lower_mix(self.mix, BinaryConfig(isa, True))
+            assert vector.total < scalar.total
+
+    def test_avx_reduces_more_than_advsimd(self):
+        x86 = lower_mix(self.mix, BinaryConfig(ISA.X86_64, True))
+        arm = lower_mix(self.mix, BinaryConfig(ISA.ARMV8, True))
+        x86_scalar = lower_mix(self.mix, BinaryConfig(ISA.X86_64, False))
+        arm_scalar = lower_mix(self.mix, BinaryConfig(ISA.ARMV8, False))
+        assert x86.total / x86_scalar.total < arm.total / arm_scalar.total
+
+    def test_non_vectorisable_mix_unchanged_by_vect(self):
+        mix = InstructionMix(flops=4, int_ops=4, loads=2, stores=1, branches=1)
+        scalar = lower_mix(mix, BinaryConfig(ISA.X86_64, False))
+        vector = lower_mix(mix, BinaryConfig(ISA.X86_64, True))
+        assert scalar.total == pytest.approx(vector.total)
+
+    def test_vector_flops_conserve_work(self):
+        lowered = lower_mix(self.mix, BinaryConfig(ISA.X86_64, True))
+        lanes = AVX.f64_lanes
+        expected_vector = 0.75 * 8 / lanes
+        assert lowered.vector_flops == pytest.approx(expected_vector)
+        assert lowered.scalar_flops == pytest.approx(0.25 * 8)
+
+    def test_simd_overhead_positive_when_vectorised(self):
+        lowered = lower_mix(self.mix, BinaryConfig(ISA.ARMV8, True))
+        assert lowered.simd_overhead > 0

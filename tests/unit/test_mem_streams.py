@@ -1,0 +1,78 @@
+"""Tests for the address-stream generators (exact path)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.memory import MemoryPattern, PatternKind
+from repro.mem.streams import generate_stream
+
+
+def _pattern(kind, hot_fraction=0.5):
+    return MemoryPattern(
+        kind, footprint_bytes=2**18, hot_bytes=4 * 1024, hot_fraction=hot_fraction
+    )
+
+
+class TestGenerateStream:
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_length_and_bounds(self, kind):
+        pattern = _pattern(kind)
+        stream = generate_stream(pattern, 5000, np.random.default_rng(0))
+        assert stream.shape == (5000,)
+        assert stream.min() >= 0
+        max_line = int(pattern.hot_lines) + int(pattern.footprint_lines) + 1
+        assert stream.max() <= max_line
+
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_deterministic_per_generator(self, kind):
+        pattern = _pattern(kind)
+        a = generate_stream(pattern, 2000, np.random.default_rng(3))
+        b = generate_stream(pattern, 2000, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_hot_fraction_zero_never_touches_hot_set(self):
+        pattern = _pattern(PatternKind.STREAM, hot_fraction=0.0)
+        stream = generate_stream(pattern, 3000, np.random.default_rng(1))
+        assert stream.min() >= int(pattern.hot_lines)
+
+    def test_hot_fraction_one_stays_in_hot_set(self):
+        pattern = _pattern(PatternKind.STREAM, hot_fraction=1.0)
+        stream = generate_stream(pattern, 3000, np.random.default_rng(1))
+        assert stream.max() < int(pattern.hot_lines)
+
+    def test_stream_kind_is_sequential(self):
+        pattern = _pattern(PatternKind.STREAM, hot_fraction=0.0)
+        stream = generate_stream(pattern, 1000, np.random.default_rng(2))
+        deltas = np.diff(stream)
+        # Sequential modulo wrap: almost all steps are +1.
+        assert (deltas == 1).mean() > 0.95
+
+    def test_random_kind_is_not_sequential(self):
+        pattern = _pattern(PatternKind.RANDOM, hot_fraction=0.0)
+        stream = generate_stream(pattern, 1000, np.random.default_rng(2))
+        assert (np.diff(stream) == 1).mean() < 0.2
+
+    def test_pointer_chase_covers_footprint(self):
+        pattern = _pattern(PatternKind.POINTER_CHASE, hot_fraction=0.0)
+        fp_lines = int(pattern.footprint_lines)
+        stream = generate_stream(pattern, 4 * fp_lines, np.random.default_rng(4))
+        coverage = len(set(stream.tolist())) / fp_lines
+        assert coverage > 0.9
+
+    def test_footprint_scale_extends_range(self):
+        pattern = _pattern(PatternKind.STREAM, hot_fraction=0.0)
+        small = generate_stream(
+            pattern, 30_000, np.random.default_rng(5), footprint_scale=0.5
+        )
+        large = generate_stream(
+            pattern, 30_000, np.random.default_rng(5), footprint_scale=2.0
+        )
+        assert large.max() > small.max()
+
+    def test_zero_accesses(self):
+        stream = generate_stream(_pattern(PatternKind.STREAM), 0, np.random.default_rng(0))
+        assert stream.size == 0
+
+    def test_negative_accesses_rejected(self):
+        with pytest.raises(ValueError):
+            generate_stream(_pattern(PatternKind.STREAM), -1, np.random.default_rng(0))

@@ -1,0 +1,50 @@
+"""Tests for the PAPI-like facade."""
+
+import numpy as np
+import pytest
+
+from repro.hw.machines import INTEL_I7_3770
+from repro.hw.papi import PAPI_EVENTS, PapiSession
+from repro.util.rng import RngTree
+
+
+class TestPapiSession:
+    def _session(self):
+        return PapiSession(INTEL_I7_3770, RngTree(5).child("papi"))
+
+    def test_event_names(self):
+        assert PAPI_EVENTS == (
+            "PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_L1_DCM", "PAPI_L2_DCM",
+        )
+
+    def test_read_returns_all_events(self):
+        session = self._session()
+        true = np.array([1e8, 5e7, 1e5, 2e4])
+        reading = session.read_region(true, threads=4)
+        assert set(reading) == set(PAPI_EVENTS)
+
+    def test_reads_are_noisy_but_close(self):
+        session = self._session()
+        true = np.array([1e9, 5e8, 1e6, 2e5])
+        reading = session.read_region(true, threads=1)
+        for name, value in zip(PAPI_EVENTS, true):
+            assert reading[name] == pytest.approx(value, rel=0.1)
+            assert reading[name] != value  # overhead + noise
+
+    def test_overhead_biases_upwards_on_average(self):
+        session = self._session()
+        true = np.zeros(4)
+        readings = [session.read_region(true, threads=1) for _ in range(50)]
+        mean_cycles = np.mean([r["PAPI_TOT_CYC"] for r in readings])
+        assert mean_cycles > 1000  # the read itself costs cycles
+
+    def test_read_counter_increments(self):
+        session = self._session()
+        session.read_region(np.ones(4), threads=1)
+        session.read_region(np.ones(4), threads=1)
+        assert session.reads_performed == 2
+
+    def test_wrong_shape_rejected(self):
+        session = self._session()
+        with pytest.raises(ValueError):
+            session.read_region(np.ones(3), threads=1)

@@ -1,0 +1,93 @@
+"""Deeper structural tests of the modelled applications."""
+
+import numpy as np
+import pytest
+
+from repro.ir.memory import PatternKind
+from repro.isa.descriptors import ISA
+from repro.workloads.registry import create
+
+
+class TestHPCGStructure:
+    def test_iteration_template_counts(self):
+        program = create("HPCG").program(8, ISA.X86_64)
+        counts = program.instance_counts()
+        by_name = {
+            t.name: int(c) for t, c in zip(program.templates, counts)
+        }
+        assert by_name["setup_halo"] == 5
+        assert by_name["symgs_level0"] == 2 * 38
+        assert by_name["spmv_level0"] == 38
+        assert by_name["dot_product"] == 3 * 38
+
+    def test_multigrid_footprints_shrink_per_level(self):
+        program = create("HPCG").program(8, ISA.X86_64)
+        fp = {
+            t.name: t.blocks[0].pattern.footprint_bytes for t in program.templates
+        }
+        assert fp["symgs_level0"] > fp["symgs_level1"] > fp["symgs_level2"] > fp["symgs_level3"]
+
+
+class TestCoMDStructure:
+    def test_nine_regions_per_step(self):
+        program = create("CoMD").program(8, ISA.X86_64)
+        assert program.n_templates == 9
+        counts = program.instance_counts()
+        assert np.all(counts == 90)
+
+    def test_force_kernel_is_l1_resident(self):
+        program = create("CoMD").program(8, ISA.X86_64)
+        force = next(t for t in program.templates if t.name == "eam_force")
+        inner = force.blocks[0]
+        assert inner.pattern.kind is PatternKind.STENCIL
+        assert inner.pattern.hot_fraction > 0.99
+        assert inner.pattern.hot_bytes < 32 * 1024
+
+
+class TestAMGMkStructure:
+    def test_matvec_on_l2_cliff_at_one_thread(self):
+        program = create("AMGMk").program(1, ISA.X86_64)
+        matvec = next(t for t in program.templates if t.name == "matvec")
+        per_thread = matvec.blocks[0].pattern.per_thread_footprint_lines(1) * 64
+        # Within a factor ~1.4 of the 256 KiB L2 (the capacity cliff).
+        assert 180 * 1024 < per_thread < 360 * 1024
+
+    def test_matvec_off_cliff_at_eight_threads(self):
+        program = create("AMGMk").program(8, ISA.X86_64)
+        matvec = next(t for t in program.templates if t.name == "matvec")
+        per_thread = matvec.blocks[0].pattern.per_thread_footprint_lines(8) * 64
+        assert per_thread < 100 * 1024
+
+
+class TestMiniFEStructure:
+    def test_cg_iteration_shape(self):
+        program = create("miniFE").program(8, ISA.X86_64)
+        counts = program.instance_counts()
+        by_name = {t.name: int(c) for t, c in zip(program.templates, counts)}
+        assert by_name == {
+            "fe_assembly": 8,
+            "sparse_matvec": 200,
+            "dot_product": 400,
+            "waxpby": 600,
+        }
+
+    def test_matvec_instance_near_table4_largest(self):
+        program = create("miniFE").program(8, ISA.X86_64)
+        matvec = next(t for t in program.templates if t.name == "sparse_matvec")
+        total = sum(
+            t.abstract_instructions() * int(c)
+            for t, c in zip(program.templates, program.instance_counts())
+        )
+        fraction = matvec.abstract_instructions() / total
+        assert fraction == pytest.approx(0.00425, rel=0.25)  # paper: 0.43%
+
+
+class TestLULESHStructure:
+    def test_thread_only_regions(self):
+        p1 = create("LULESH").program(1, ISA.X86_64)
+        p8 = create("LULESH").program(8, ISA.X86_64)
+        c1 = {t.name: int(c) for t, c in zip(p1.templates, p1.instance_counts())}
+        c8 = {t.name: int(c) for t, c in zip(p8.templates, p8.instance_counts())}
+        assert c1["ReduceDtSplit"] == 0
+        assert c8["ReduceDtSplit"] == 20
+        assert c1["CalcHourglassForce"] == c8["CalcHourglassForce"] == 20
