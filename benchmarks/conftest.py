@@ -1,10 +1,10 @@
 """Shared benchmark configuration.
 
 Every bench regenerates one paper artefact.  The heavy cross-architecture
-sweeps go through :class:`repro.experiments.runner.StudyRunner`, which
-caches study summaries under ``.repro-cache`` — so the first run of the
-suite pays the full cost and subsequent benches reuse it.  Set
-``REPRO_SCALE=quick`` for a reduced protocol.
+sweeps go through the :class:`repro.exec.scheduler.StudyScheduler`, which
+caches study cell payloads content-addressed under ``.repro-cache`` — so
+the first run of the suite pays the full cost and subsequent benches
+reuse it.  Set ``REPRO_SCALE=quick`` for a reduced protocol.
 """
 
 from __future__ import annotations

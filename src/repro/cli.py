@@ -12,10 +12,17 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro limitations     # Section V-B applicability
     repro coalesce        # future work: barrier-point coalescing
     repro coretypes       # future work: in-order vs out-of-order
+    repro all             # every artefact from one scheduled pass
     repro list            # workload registry
 
-``--quick`` shrinks the protocol (3 discovery runs, 5 repetitions) for a
-fast look; the default reproduces the paper's 10 × 20 protocol.
+``--scale quick`` (or the ``--quick`` shorthand) shrinks the protocol
+(3 discovery runs, 5 repetitions) for a fast look; the default
+reproduces the paper's 10 × 20 protocol.  ``--jobs N`` fans independent
+study cells out over N workers (``--backend`` picks serial/threads/
+processes); results are bit-identical regardless of backend.  ``repro
+all`` deduplicates cells shared between artefacts — Table III, Table IV
+and Figure 2 reuse the same studies — and renders everything from a
+single scheduled pass.
 """
 
 from __future__ import annotations
@@ -23,23 +30,26 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.exec.backends import BACKEND_NAMES
+from repro.exec.scheduler import StudyScheduler
 from repro.experiments import coalesce, coretypes, figure1, figure2, limitations
 from repro.experiments import table1, table2, table3, table4, variability
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import SCALES, default_config
 
 __all__ = ["main"]
 
+#: Render order of ``repro all`` (the paper's artefact order).
 _EXPERIMENTS = {
-    "table1": table1.run,
-    "table2": table2.run,
-    "table3": table3.run,
-    "table4": table4.run,
-    "figure1": figure1.run,
-    "figure2": figure2.run,
-    "variability": variability.run,
-    "limitations": limitations.run,
-    "coalesce": coalesce.run,
-    "coretypes": coretypes.run,
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "figure1": figure1,
+    "figure2": figure2,
+    "variability": variability,
+    "limitations": limitations,
+    "coalesce": coalesce,
+    "coretypes": coretypes,
 }
 
 
@@ -51,26 +61,66 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["list"],
-        help="which artefact to regenerate",
+        choices=sorted(_EXPERIMENTS) + ["all", "list"],
+        help="which artefact to regenerate ('all' renders every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default=None,
+        help="protocol scale (default: $REPRO_SCALE, else 'full')",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="use a reduced protocol (3 discovery runs, 5 repetitions)",
+        help="shorthand for --scale quick (3 discovery runs, 5 repetitions)",
     )
     parser.add_argument(
-        "--seed", type=int, default=2017, help="root random seed (default 2017)"
+        "--seed", type=int, default=None, help="root random seed (default 2017)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="study cells executed concurrently (default 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKEND_NAMES),
+        default=None,
+        help="execution backend (default: processes when --jobs > 1)",
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk study cache"
     )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print scheduler statistics to stderr",
+    )
     return parser
+
+
+def _config_from_args(args: argparse.Namespace):
+    if args.quick and args.scale == "full":
+        raise SystemExit("error: --quick conflicts with --scale full")
+    scale = "quick" if args.quick else args.scale
+    overrides: dict[str, object] = {"jobs": args.jobs, "backend": args.backend}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.no_cache:
+        overrides["cache_dir"] = ""
+    return default_config(scale, **overrides)
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
 
     if args.experiment == "list":
         from repro.workloads.registry import TABLE1_ORDER, create
@@ -80,21 +130,34 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{app.name:12s} {app.description}")
         return 0
 
-    if args.quick:
-        config = ExperimentConfig(
-            thread_counts=(1, 8),
-            discovery_runs=3,
-            repetitions=5,
-            seed=args.seed,
-            cache_dir="" if args.no_cache else ".repro-cache",
-        )
-    else:
-        config = ExperimentConfig(
-            seed=args.seed, cache_dir="" if args.no_cache else ".repro-cache"
-        )
+    config = _config_from_args(args)
+    scheduler = StudyScheduler(config)
 
-    result = _EXPERIMENTS[args.experiment](config)
-    print(result.render())
+    if args.experiment == "all":
+        # One deduplicated scheduled pass over every artefact's cells,
+        # then render each artefact from the shared results.
+        requests = []
+        for module in _EXPERIMENTS.values():
+            if hasattr(module, "requests"):
+                requests.extend(module.requests(config))
+        scheduler.run(requests)
+        renders = [
+            module.run(config, scheduler=scheduler)
+            if hasattr(module, "requests")
+            else module.run(config)
+            for module in _EXPERIMENTS.values()
+        ]
+        print("\n\n".join(result.render() for result in renders))
+    else:
+        module = _EXPERIMENTS[args.experiment]
+        if hasattr(module, "requests"):
+            result = module.run(config, scheduler=scheduler)
+        else:
+            result = module.run(config)
+        print(result.render())
+
+    if args.verbose:
+        print(f"[scheduler] {scheduler.stats.describe()}", file=sys.stderr)
     return 0
 
 

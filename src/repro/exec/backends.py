@@ -1,0 +1,115 @@
+"""Pluggable execution backends for the study scheduler.
+
+Every cell of the study graph is independent — the paper's methodology
+runs one pipeline per (application, thread count, vectorisation) with no
+shared mutable state, and all randomness is path-addressed — so fanning
+cells out is embarrassingly parallel.  A backend only has to provide an
+order-preserving ``map``:
+
+* ``serial``     — plain loop; the reference the others must match.
+* ``threads``    — :class:`~concurrent.futures.ThreadPoolExecutor`;
+  useful when the cells release the GIL (numpy-heavy studies do in
+  part) and always available.
+* ``processes``  — :class:`~concurrent.futures.ProcessPoolExecutor`;
+  full CPU scaling.  Work items and results must be picklable, which
+  the scheduler guarantees by shipping (request, config) pairs and
+  JSON-shaped payloads.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Protocol, Sequence
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "BACKEND_NAMES",
+    "create_backend",
+]
+
+
+class ExecutionBackend(Protocol):
+    """Order-preserving map over independent work items."""
+
+    name: str
+    jobs: int
+
+    def map(self, fn: Callable, items: Sequence) -> list:  # pragma: no cover
+        """Apply ``fn`` to every item, returning results in input order."""
+        ...
+
+
+class SerialBackend:
+    """Run cells one after another in the calling process."""
+
+    name = "serial"
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = 1
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return [fn(item) for item in items]
+
+
+class ThreadPoolBackend:
+    """Run cells on a thread pool (shared interpreter, shared memory)."""
+
+    name = "threads"
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(1, int(jobs))
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        if len(items) <= 1 or self.jobs == 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(fn, items))
+
+
+class ProcessPoolBackend:
+    """Run cells on a process pool (true CPU parallelism)."""
+
+    name = "processes"
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(1, int(jobs))
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        if len(items) <= 1 or self.jobs == 1:
+            return [fn(item) for item in items]
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+
+BACKEND_NAMES: dict[str, type] = {
+    SerialBackend.name: SerialBackend,
+    ThreadPoolBackend.name: ThreadPoolBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def create_backend(name: str | None, jobs: int = 1) -> ExecutionBackend:
+    """Instantiate a backend by name.
+
+    ``name=None`` picks ``processes`` when more than one job is
+    requested and ``serial`` otherwise, so ``--jobs 4`` alone already
+    parallelises.
+    """
+    if name is None:
+        name = ProcessPoolBackend.name if jobs > 1 else SerialBackend.name
+    try:
+        backend_cls = BACKEND_NAMES[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKEND_NAMES))
+        raise ValueError(f"unknown backend {name!r} (known: {known})") from None
+    return backend_cls(jobs)

@@ -1,0 +1,53 @@
+"""Cell executor registry.
+
+Each :class:`~repro.exec.request.StudyRequest` kind maps to a pure
+function ``executor(request, config) -> payload`` living next to the
+experiment that owns the computation.  Executors return JSON-shaped
+payloads (dicts/lists/numbers/strings only) so the scheduler can cache
+them on disk and ship them across process boundaries without custom
+picklers.
+
+The registry stores dotted ``module:function`` paths and resolves them
+lazily: experiment modules import the scheduler, so importing them
+eagerly here would be circular, and worker processes resolve executors
+on first use anyway.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Callable
+
+from repro.exec.request import StudyRequest
+
+__all__ = ["CELL_KINDS", "resolve_executor", "execute_request"]
+
+#: kind → "module:function" executor address.
+CELL_KINDS: dict[str, str] = {
+    "crossarch": "repro.experiments.runner:crossarch_cell",
+    "figure1": "repro.experiments.figure1:figure1_cell",
+    "variability": "repro.experiments.variability:variability_cell",
+    "limitations": "repro.experiments.limitations:limitation_cell",
+    "coalesce": "repro.experiments.coalesce:coalesce_cell",
+    "coretypes": "repro.experiments.coretypes:coretype_cell",
+}
+
+_RESOLVED: dict[str, Callable] = {}
+
+
+def resolve_executor(kind: str) -> Callable:
+    """Import and memoise the executor function for one cell kind."""
+    if kind not in _RESOLVED:
+        try:
+            address = CELL_KINDS[kind]
+        except KeyError:
+            known = ", ".join(sorted(CELL_KINDS))
+            raise ValueError(f"unknown cell kind {kind!r} (known: {known})") from None
+        module_name, _, func_name = address.partition(":")
+        _RESOLVED[kind] = getattr(import_module(module_name), func_name)
+    return _RESOLVED[kind]
+
+
+def execute_request(request: StudyRequest, config):
+    """Run one cell to completion and return its JSON payload."""
+    return resolve_executor(request.kind)(request, config)

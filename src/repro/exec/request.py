@@ -1,0 +1,61 @@
+"""Declarative study cells.
+
+A :class:`StudyRequest` names one unit of schedulable experimental work:
+which executor to run (``kind``), for which workload and team width, and
+any extra executor parameters.  Requests are frozen and hashable, so the
+scheduler can deduplicate identical cells requested by different
+experiments — Table IV's 8-thread studies are the same cells Figure 2
+needs, and ``repro all`` executes them exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StudyRequest"]
+
+
+@dataclass(frozen=True)
+class StudyRequest:
+    """One schedulable unit of experimental work.
+
+    Attributes
+    ----------
+    kind:
+        Executor name registered in :data:`repro.exec.cells.CELL_KINDS`
+        (``"crossarch"``, ``"figure1"``, ...).
+    app:
+        Workload registry name.
+    threads:
+        Team width of the cell.
+    params:
+        Extra executor parameters as ``(name, value)`` pairs.  Values
+        must be hashable and JSON-representable; the tuple is sorted on
+        construction so parameter order never splits a cache key.
+    """
+
+    kind: str
+    app: str
+    threads: int
+    params: tuple[tuple[str, object], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    def param(self, name: str, default: object = None) -> object:
+        """Look up one extra parameter by name."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def key(self) -> tuple:
+        """Canonical identity tuple (the scheduler's dedup key)."""
+        return (self.kind, self.app, self.threads, self.params)
+
+    def describe(self) -> str:
+        """Human-readable cell label for logs and progress lines."""
+        extra = "".join(f",{k}={v}" for k, v in self.params)
+        return f"{self.kind}[{self.app},t{self.threads}{extra}]"

@@ -1,0 +1,132 @@
+"""The study-graph scheduler.
+
+:class:`StudyScheduler` is the single entry point through which every
+table and figure obtains its study cells.  One ``run`` call:
+
+1. deduplicates the requested cells (preserving first-seen order),
+2. satisfies what it can from the in-process memo and the on-disk
+   :class:`~repro.exec.store.StudyStore`,
+3. fans the remaining misses out over the configured
+   :mod:`backend <repro.exec.backends>`, and
+4. persists fresh results before handing the full request → payload
+   mapping back to the caller.
+
+Determinism: cell executors draw all randomness from
+:class:`~repro.util.rng.RngTree` paths derived from the configuration
+seed, never from global state, so the payloads are bit-identical across
+backends, worker counts and execution order.  The determinism test suite
+(`tests/integration/test_exec_scheduler.py`) asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exec.backends import ExecutionBackend, create_backend
+from repro.exec.cells import execute_request
+from repro.exec.request import StudyRequest
+from repro.exec.store import StudyStore
+
+__all__ = ["SchedulerStats", "StudyScheduler"]
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing how a scheduler satisfied its requests.
+
+    Attributes
+    ----------
+    requested:
+        Cells asked for, including duplicates across experiments.
+    deduplicated:
+        Duplicate requests coalesced away.
+    memo_hits / cache_hits:
+        Cells served from process memory / the disk store.
+    executed:
+        Cells actually computed.
+    """
+
+    requested: int = 0
+    deduplicated: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    def describe(self) -> str:
+        """One-line summary for verbose CLI output."""
+        return (
+            f"{self.requested} requested, {self.deduplicated} deduplicated, "
+            f"{self.memo_hits} from memory, {self.cache_hits} from disk, "
+            f"{self.executed} executed"
+        )
+
+
+def _execute_item(item: tuple[StudyRequest, object]):
+    """Picklable worker entry point: one (request, config) pair."""
+    request, config = item
+    return execute_request(request, config)
+
+
+class StudyScheduler:
+    """Deduplicating, multi-backend executor of study cells.
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.experiments.config.ExperimentConfig`; supplies
+        the protocol (part of every cache address) and the default
+        backend/jobs choice.
+    backend:
+        Override the backend instance (tests inject doubles here).
+    """
+
+    def __init__(self, config, backend: ExecutionBackend | None = None) -> None:
+        self.config = config
+        self.backend = backend or create_backend(config.backend, config.jobs)
+        self.store = StudyStore(config.cache_dir, config)
+        self.stats = SchedulerStats()
+        self._memory: dict[StudyRequest, object] = {}
+
+    # ------------------------------------------------------------ running
+    def run(self, requests: Iterable[StudyRequest]) -> dict[StudyRequest, object]:
+        """Execute (or fetch) every requested cell.
+
+        Returns a mapping with one entry per *unique* request; duplicate
+        requests are deduplicated before any work is scheduled.
+        """
+        ordered = list(requests)
+        unique: list[StudyRequest] = []
+        seen: set[StudyRequest] = set()
+        for request in ordered:
+            if request not in seen:
+                seen.add(request)
+                unique.append(request)
+        self.stats.requested += len(ordered)
+        self.stats.deduplicated += len(ordered) - len(unique)
+
+        missing: list[StudyRequest] = []
+        for request in unique:
+            if request in self._memory:
+                self.stats.memo_hits += 1
+                continue
+            payload = self.store.load(request)
+            if payload is not None:
+                self._memory[request] = payload
+                self.stats.cache_hits += 1
+            else:
+                missing.append(request)
+
+        if missing:
+            items = [(request, self.config) for request in missing]
+            payloads = self.backend.map(_execute_item, items)
+            for request, payload in zip(missing, payloads):
+                self._memory[request] = payload
+                self.store.store(request, payload)
+            self.stats.executed += len(missing)
+
+        return {request: self._memory[request] for request in unique}
+
+    def result(self, request: StudyRequest):
+        """Execute (or fetch) a single cell and return its payload."""
+        return self.run([request])[request]

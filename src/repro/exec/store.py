@@ -1,0 +1,135 @@
+"""Content-addressed, atomically-written study cache.
+
+The old :class:`StudyRunner` cache keyed files by a hand-picked subset of
+the protocol (seed, discovery runs, repetitions) — changing ``maxK``,
+``bbv_weight`` or the measurement overhead silently served stale
+summaries.  :class:`StudyStore` instead hashes the *full* serialized
+pipeline configuration together with the request identity, so any knob
+that can change a number changes the address.
+
+Writes go to a temporary file in the same directory followed by
+:func:`os.replace`, so a crashed or concurrently-writing process can
+never leave a torn JSON file behind; a corrupt entry (truncated file,
+bad JSON) is treated as a miss and deleted so the next write heals it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.exec.request import StudyRequest
+
+__all__ = ["CACHE_VERSION", "config_fingerprint", "request_digest", "StudyStore"]
+
+#: Bump when payload contents or the underlying models change shape.
+CACHE_VERSION = 5
+
+
+def config_fingerprint(config) -> str:
+    """Hash every protocol knob that can influence a cell's result.
+
+    ``config`` is an :class:`~repro.experiments.config.ExperimentConfig`;
+    the fingerprint covers its full :class:`~repro.core.pipeline.PipelineConfig`
+    (discovery runs, every SimPoint option, the measurement protocol
+    including the per-read overhead model, ``bbv_weight`` and the seed).
+    Execution-only settings — ``thread_counts``, ``cache_dir``, ``jobs``,
+    ``backend`` — are deliberately excluded: they change *how* cells run,
+    never what they compute.
+    """
+    blob = json.dumps(
+        {"cache_version": CACHE_VERSION, "pipeline": asdict(config.pipeline_config())},
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def request_digest(request: StudyRequest, fingerprint: str) -> str:
+    """Content address of one (request, configuration) pair."""
+    blob = json.dumps(
+        {
+            "fingerprint": fingerprint,
+            "kind": request.kind,
+            "app": request.app,
+            "threads": request.threads,
+            "params": [[k, v] for k, v in request.params],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class StudyStore:
+    """Disk cache of JSON cell payloads under one configuration.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the entries ('' disables the store — every
+        ``load`` misses and ``store`` is a no-op).
+    config:
+        Experiment configuration; folded into every entry's address via
+        :func:`config_fingerprint`.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike, config) -> None:
+        self._dir = Path(cache_dir) if cache_dir else None
+        self.fingerprint = config_fingerprint(config)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a cache directory is configured."""
+        return self._dir is not None
+
+    def path(self, request: StudyRequest) -> Path | None:
+        """Cache file for one request (None when the store is disabled)."""
+        if self._dir is None:
+            return None
+        digest = request_digest(request, self.fingerprint)
+        name = (
+            f"v{CACHE_VERSION}_{request.kind}_{request.app}"
+            f"_t{request.threads}_{digest[:20]}.json"
+        )
+        return self._dir / name
+
+    def load(self, request: StudyRequest):
+        """Stored payload for a request, or None on miss/corruption.
+
+        A corrupt entry is removed so the slot can be rewritten cleanly.
+        """
+        path = self.path(request)
+        if path is None or not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def store(self, request: StudyRequest, payload) -> None:
+        """Atomically persist one cell payload (temp file + rename)."""
+        path = self.path(request)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload, indent=1, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

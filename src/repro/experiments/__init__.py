@@ -2,12 +2,23 @@
 
 Each driver regenerates one table or figure from the paper's evaluation
 (see DESIGN.md §4 for the experiment index) and renders it as an ASCII
-table/series.  Heavy cross-architecture studies are cached on disk by
-:mod:`repro.experiments.runner`, so the benchmark suite can share work
-across tables and figures.
+table/series.  Drivers *declare* the study cells they need
+(:func:`requests`) and assemble artefacts from executed payloads
+(:func:`build`); the :class:`~repro.exec.scheduler.StudyScheduler`
+deduplicates cells shared between artefacts, executes them on a
+serial/threads/processes backend and caches the payloads on disk.
 """
 
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import StudyRunner, StudySummary
 
-__all__ = ["ExperimentConfig", "default_config", "StudyRunner", "StudySummary"]
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "StudyRequest",
+    "StudyScheduler",
+    "StudyRunner",
+    "StudySummary",
+]

@@ -13,6 +13,7 @@ coarser (less parallel-simulatable) partition.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -23,6 +24,8 @@ from repro.core.reconstruction import reconstruct_totals
 from repro.core.selection import select_barrier_points
 from repro.core.signatures import build_signatures
 from repro.core.validation import EstimationReport, validate_estimate
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.hw.machines import machine_for
 from repro.hw.measure import measure_barrier_point_means, measure_roi_totals
@@ -32,7 +35,9 @@ from repro.isa.descriptors import ISA
 from repro.util.tables import render_table
 from repro.workloads.registry import create
 
-__all__ = ["CoalescePoint", "CoalesceStudy", "run"]
+__all__ = ["CoalescePoint", "CoalesceStudy", "requests", "build", "run"]
+
+_DEFAULT_THRESHOLDS = (0.0, 1e6, 5e6, 2e7)
 
 
 @dataclass(frozen=True)
@@ -119,34 +124,76 @@ def _evaluate_grouped(
     return validate_estimate(estimate, reference), selection.k
 
 
+def requests(
+    config: ExperimentConfig,
+    app_name: str = "LULESH",
+    threads: int = 8,
+    isa: ISA = ISA.X86_64,
+    thresholds: tuple[float, ...] = _DEFAULT_THRESHOLDS,
+) -> list[StudyRequest]:
+    """One cell per super-region size threshold (the sweep's x-axis)."""
+    return [
+        StudyRequest(
+            kind="coalesce",
+            app=app_name,
+            threads=threads,
+            params=(("isa", isa.value), ("threshold", float(threshold))),
+        )
+        for threshold in thresholds
+    ]
+
+
+def coalesce_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
+    """Executor for ``"coalesce"`` cells: one threshold of the sweep.
+
+    Each cell rebuilds its pipeline, but every random stream is
+    path-addressed, so the per-threshold numbers are identical to the
+    old shared-pipeline loop.
+    """
+    from repro.hw.pmu import PMU_METRICS
+
+    isa = ISA(request.param("isa"))
+    threshold = float(request.param("threshold"))
+    pipeline = BarrierPointPipeline(
+        create(request.app), request.threads, config=config.pipeline_config()
+    )
+    weights = pipeline.counters(ISA.X86_64).bp_instructions()
+    groups = coalesce_groups(weights, threshold)
+    report, k = _evaluate_grouped(pipeline, groups, isa)
+    return {
+        "min_instructions": threshold,
+        "n_regions": int(groups.max()) + 1,
+        "k": int(k),
+        "errors": {m: float(report.error_pct(m)) for m in PMU_METRICS},
+    }
+
+
+def build(
+    results: Mapping[StudyRequest, dict],
+    config: ExperimentConfig,
+    app_name: str = "LULESH",
+    threads: int = 8,
+    isa: ISA = ISA.X86_64,
+    thresholds: tuple[float, ...] = _DEFAULT_THRESHOLDS,
+) -> CoalesceStudy:
+    """Assemble the sweep from executed cells (threshold order kept)."""
+    points = [
+        CoalescePoint(**results[request])
+        for request in requests(config, app_name, threads, isa, thresholds)
+    ]
+    return CoalesceStudy(app=app_name, threads=threads, isa=isa.value, points=points)
+
+
 def run(
     config: ExperimentConfig | None = None,
     app_name: str = "LULESH",
     threads: int = 8,
     isa: ISA = ISA.X86_64,
-    thresholds: tuple[float, ...] = (0.0, 1e6, 5e6, 2e7),
+    thresholds: tuple[float, ...] = _DEFAULT_THRESHOLDS,
+    scheduler: StudyScheduler | None = None,
 ) -> CoalesceStudy:
     """Sweep the minimum super-region size on a fine-grained app."""
-    from repro.hw.pmu import PMU_METRICS
-
     config = config or default_config()
-    pipeline = BarrierPointPipeline(
-        create(app_name), threads, config=config.pipeline_config()
-    )
-    weights = pipeline.counters(ISA.X86_64).bp_instructions()
-
-    points = []
-    for threshold in thresholds:
-        groups = coalesce_groups(weights, threshold)
-        report, k = _evaluate_grouped(pipeline, groups, isa)
-        points.append(
-            CoalescePoint(
-                min_instructions=threshold,
-                n_regions=int(groups.max()) + 1,
-                k=k,
-                errors={m: report.error_pct(m) for m in PMU_METRICS},
-            )
-        )
-    return CoalesceStudy(
-        app=app_name, threads=threads, isa=isa.value, points=points
-    )
+    scheduler = scheduler or StudyScheduler(config)
+    results = scheduler.run(requests(config, app_name, threads, isa, thresholds))
+    return build(results, config, app_name, threads, isa, thresholds)

@@ -1,21 +1,26 @@
 """Experiment-level configuration.
 
 The paper's protocol is 10 discovery runs × 20 measurement repetitions
-over thread counts 1, 2, 4, 8.  ``REPRO_SCALE=quick`` shrinks the
-protocol for fast smoke runs (CI, tests); benches default to the full
-protocol.
+over thread counts 1, 2, 4, 8.  ``REPRO_SCALE=quick`` (or
+``--scale quick`` on the CLI) shrinks the protocol for fast smoke runs;
+benches default to the full protocol.  :func:`default_config` is the
+single factory both the CLI and the benchmark suite go through, so the
+two can never drift apart.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.clustering.simpoint import SimPointOptions
 from repro.core.pipeline import PipelineConfig
 from repro.hw.measure import MeasurementProtocol
 
-__all__ = ["ExperimentConfig", "default_config"]
+__all__ = ["ExperimentConfig", "default_config", "SCALES"]
+
+#: Recognised protocol scales.
+SCALES = ("full", "quick")
 
 
 @dataclass(frozen=True)
@@ -31,8 +36,17 @@ class ExperimentConfig:
     seed:
         Root seed; the same seed reproduces every number exactly.
     cache_dir:
-        Where :class:`repro.experiments.runner.StudyRunner` persists
-        study summaries ('' disables the disk cache).
+        Where the :class:`repro.exec.store.StudyStore` persists study
+        cell payloads ('' disables the disk cache).
+    simpoint / bbv_weight:
+        Clustering options and BBV/LDV signature balance — part of the
+        cache fingerprint, so changing e.g. ``max_k`` can never serve a
+        stale summary.
+    jobs / backend:
+        Study-graph execution: worker count and backend name
+        (``serial``, ``threads``, ``processes``; None picks
+        ``processes`` when ``jobs > 1``).  Execution-only — neither
+        affects any computed number nor the cache fingerprint.
     """
 
     thread_counts: tuple[int, ...] = (1, 2, 4, 8)
@@ -40,24 +54,43 @@ class ExperimentConfig:
     repetitions: int = 20
     seed: int = 2017
     cache_dir: str = ".repro-cache"
+    simpoint: SimPointOptions = field(default_factory=SimPointOptions)
+    bbv_weight: float = 0.5
+    jobs: int = 1
+    backend: str | None = None
 
     def pipeline_config(self) -> PipelineConfig:
         """The per-configuration pipeline parameters."""
         return PipelineConfig(
             discovery_runs=self.discovery_runs,
-            simpoint=SimPointOptions(),
+            simpoint=self.simpoint,
             protocol=MeasurementProtocol(repetitions=self.repetitions),
+            bbv_weight=self.bbv_weight,
             seed=self.seed,
         )
 
 
-def default_config() -> ExperimentConfig:
-    """Config honouring ``REPRO_SCALE`` (``full`` default, ``quick`` CI)."""
-    scale = os.environ.get("REPRO_SCALE", "full").lower()
+def default_config(scale: str | None = None, **overrides) -> ExperimentConfig:
+    """Build the configuration for one protocol scale.
+
+    Parameters
+    ----------
+    scale:
+        ``"full"`` (paper protocol) or ``"quick"`` (3 discovery runs,
+        5 repetitions, thread counts 1 and 8).  None reads
+        ``REPRO_SCALE`` from the environment, defaulting to ``full``.
+    overrides:
+        Any :class:`ExperimentConfig` field, applied on top of the
+        scale's base values (e.g. ``seed=7``, ``jobs=4``,
+        ``cache_dir=''``).
+    """
+    if scale is None:
+        scale = os.environ.get("REPRO_SCALE", "full")
+    scale = scale.lower()
     if scale == "quick":
-        return ExperimentConfig(
-            thread_counts=(1, 8), discovery_runs=3, repetitions=5
-        )
-    if scale == "full":
-        return ExperimentConfig()
-    raise ValueError(f"REPRO_SCALE must be 'full' or 'quick', got {scale!r}")
+        base = ExperimentConfig(thread_counts=(1, 8), discovery_runs=3, repetitions=5)
+    elif scale == "full":
+        base = ExperimentConfig()
+    else:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    return replace(base, **overrides) if overrides else base

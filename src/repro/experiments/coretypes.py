@@ -16,17 +16,16 @@ as the out-of-order validation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Mapping
 
-from repro.core.pipeline import BarrierPointPipeline
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
 from repro.experiments.config import ExperimentConfig, default_config
-from repro.hw.machines import APM_XGENE, ARMV8_IN_ORDER
-from repro.hw.pmu import INSTRUCTIONS, CYCLES, PMU_METRICS
-from repro.isa.descriptors import ISA
+from repro.hw.pmu import PMU_METRICS
 from repro.util.tables import render_table
-from repro.workloads.registry import create
 
-__all__ = ["CoreTypeRow", "CoreTypeStudy", "run"]
+__all__ = ["CoreTypeRow", "CoreTypeStudy", "requests", "build", "run"]
 
 _DEFAULT_APPS = ("AMGMk", "CoMD", "HPCG", "miniFE")
 
@@ -81,34 +80,69 @@ class CoreTypeStudy:
         )
 
 
+def requests(
+    config: ExperimentConfig,
+    apps: tuple[str, ...] = _DEFAULT_APPS,
+    threads: int = 8,
+) -> list[StudyRequest]:
+    """One core-type validation cell per application."""
+    return [
+        StudyRequest(kind="coretypes", app=app, threads=threads) for app in apps
+    ]
+
+
+def coretype_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
+    """Executor for ``"coretypes"`` cells: one app on both core types."""
+    from repro.core.pipeline import BarrierPointPipeline
+    from repro.hw.machines import APM_XGENE, ARMV8_IN_ORDER
+    from repro.hw.pmu import CYCLES, INSTRUCTIONS
+    from repro.isa.descriptors import ISA
+    from repro.workloads.registry import create
+
+    pipeline = BarrierPointPipeline(
+        create(request.app), request.threads, config=config.pipeline_config()
+    )
+    selection = pipeline.discover()[0]
+    ooo = pipeline.evaluate(selection, ISA.ARMV8, machine=APM_XGENE)
+    io = pipeline.evaluate(selection, ISA.ARMV8, machine=ARMV8_IN_ORDER)
+
+    ooo_totals = pipeline._counters_on(ISA.ARMV8, APM_XGENE).totals().sum(axis=0)
+    io_totals = pipeline._counters_on(ISA.ARMV8, ARMV8_IN_ORDER).totals().sum(axis=0)
+    cpi_ratio = (io_totals[CYCLES] / io_totals[INSTRUCTIONS]) / (
+        ooo_totals[CYCLES] / ooo_totals[INSTRUCTIONS]
+    )
+    return asdict(
+        CoreTypeRow(
+            app=request.app,
+            k=int(selection.k),
+            out_of_order={m: float(ooo.report.error_pct(m)) for m in PMU_METRICS},
+            in_order={m: float(io.report.error_pct(m)) for m in PMU_METRICS},
+            cpi_ratio=float(cpi_ratio),
+        )
+    )
+
+
+def build(
+    results: Mapping[StudyRequest, dict],
+    config: ExperimentConfig,
+    apps: tuple[str, ...] = _DEFAULT_APPS,
+    threads: int = 8,
+) -> CoreTypeStudy:
+    """Assemble the core-type study from executed cells."""
+    rows = [
+        CoreTypeRow(**results[request])
+        for request in requests(config, apps, threads)
+    ]
+    return CoreTypeStudy(threads=threads, rows=rows)
+
+
 def run(
     config: ExperimentConfig | None = None,
     apps: tuple[str, ...] = _DEFAULT_APPS,
     threads: int = 8,
+    scheduler: StudyScheduler | None = None,
 ) -> CoreTypeStudy:
     """Validate x86-discovered sets on both ARMv8 core types."""
     config = config or default_config()
-    rows = []
-    for app_name in apps:
-        pipeline = BarrierPointPipeline(
-            create(app_name), threads, config=config.pipeline_config()
-        )
-        selection = pipeline.discover()[0]
-        ooo = pipeline.evaluate(selection, ISA.ARMV8, machine=APM_XGENE)
-        io = pipeline.evaluate(selection, ISA.ARMV8, machine=ARMV8_IN_ORDER)
-
-        ooo_totals = pipeline._counters_on(ISA.ARMV8, APM_XGENE).totals().sum(axis=0)
-        io_totals = pipeline._counters_on(ISA.ARMV8, ARMV8_IN_ORDER).totals().sum(axis=0)
-        cpi_ratio = (io_totals[CYCLES] / io_totals[INSTRUCTIONS]) / (
-            ooo_totals[CYCLES] / ooo_totals[INSTRUCTIONS]
-        )
-        rows.append(
-            CoreTypeRow(
-                app=app_name,
-                k=selection.k,
-                out_of_order={m: ooo.report.error_pct(m) for m in PMU_METRICS},
-                in_order={m: io.report.error_pct(m) for m in PMU_METRICS},
-                cpi_ratio=float(cpi_ratio),
-            )
-        )
-    return CoreTypeStudy(threads=threads, rows=rows)
+    scheduler = scheduler or StudyScheduler(config)
+    return build(scheduler.run(requests(config, apps, threads)), config, apps, threads)

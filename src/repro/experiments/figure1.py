@@ -11,15 +11,14 @@ versus ~8% in the paper) — the motivation for exploring several sets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
-from repro.core.pipeline import BarrierPointPipeline
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
 from repro.experiments.config import ExperimentConfig, default_config
-from repro.hw.pmu import CYCLES, INSTRUCTIONS, L2D_MISSES
-from repro.isa.descriptors import ISA
 from repro.util.tables import render_table
-from repro.workloads.registry import create
 
-__all__ = ["Figure1", "run"]
+__all__ = ["Figure1", "requests", "build", "run"]
 
 
 @dataclass(frozen=True)
@@ -60,11 +59,23 @@ class Figure1:
         return table + sets
 
 
-def run(config: ExperimentConfig | None = None) -> Figure1:
-    """Measure MCB per-barrier-point behaviour and contrast two sets."""
-    config = config or default_config()
+def requests(config: ExperimentConfig) -> list[StudyRequest]:
+    """Figure 1's single cell: MCB, 1 thread, non-vectorised."""
+    return [StudyRequest(kind="figure1", app="MCB", threads=1)]
+
+
+def figure1_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
+    """Executor for the ``"figure1"`` cell (runs in scheduler workers)."""
+    from repro.core.pipeline import BarrierPointPipeline
+    from repro.hw.pmu import CYCLES, INSTRUCTIONS, L2D_MISSES
+    from repro.isa.descriptors import ISA
+    from repro.workloads.registry import create
+
     pipeline = BarrierPointPipeline(
-        create("MCB"), threads=1, vectorised=False, config=config.pipeline_config()
+        create(request.app),
+        threads=request.threads,
+        vectorised=False,
+        config=config.pipeline_config(),
     )
     measured = pipeline.measured_means(ISA.X86_64)  # (10, 1, 4)
 
@@ -81,15 +92,36 @@ def run(config: ExperimentConfig | None = None) -> Figure1:
     )
     best, worst = scored[0], scored[-1]
 
-    return Figure1(
-        relative_cpi=[float(v) for v in cpi / cpi[0]],
-        relative_mpki=[float(v) for v in mpki / mpki[0]],
-        set_a=(
+    return {
+        "relative_cpi": [float(v) for v in cpi / cpi[0]],
+        "relative_mpki": [float(v) for v in mpki / mpki[0]],
+        "set_a": [
             [int(i) for i in best.selection.representatives],
             best.report.error_pct("l2d_misses"),
-        ),
-        set_b=(
+        ],
+        "set_b": [
             [int(i) for i in worst.selection.representatives],
             worst.report.error_pct("l2d_misses"),
-        ),
+        ],
+    }
+
+
+def build(results: Mapping[StudyRequest, dict], config: ExperimentConfig) -> Figure1:
+    """Assemble Figure 1 from its executed cell."""
+    payload = results[requests(config)[0]]
+    return Figure1(
+        relative_cpi=[float(v) for v in payload["relative_cpi"]],
+        relative_mpki=[float(v) for v in payload["relative_mpki"]],
+        set_a=([int(i) for i in payload["set_a"][0]], float(payload["set_a"][1])),
+        set_b=([int(i) for i in payload["set_b"][0]], float(payload["set_b"][1])),
     )
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    scheduler: StudyScheduler | None = None,
+) -> Figure1:
+    """Measure MCB per-barrier-point behaviour and contrast two sets."""
+    config = config or default_config()
+    scheduler = scheduler or StudyScheduler(config)
+    return build(scheduler.run(requests(config)), config)

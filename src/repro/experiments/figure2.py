@@ -10,14 +10,25 @@ reproduces the full data grid behind those panels.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
 from repro.experiments.config import ExperimentConfig, default_config
-from repro.experiments.runner import StudyRunner
+from repro.experiments.runner import crossarch_request, decode_summaries
 from repro.hw.pmu import PMU_METRICS
 from repro.util.tables import render_table
 from repro.workloads.registry import EVALUATED_APPS
 
-__all__ = ["Figure2Point", "Figure2Panel", "Figure2", "run", "PANEL_IDS"]
+__all__ = [
+    "Figure2Point",
+    "Figure2Panel",
+    "Figure2",
+    "requests",
+    "build",
+    "run",
+    "PANEL_IDS",
+]
 
 #: Panel letter per application, as in the paper.
 PANEL_IDS = {
@@ -102,17 +113,29 @@ class Figure2:
         )
 
 
-def run(
-    config: ExperimentConfig | None = None, apps: tuple[str, ...] | None = None
+def requests(
+    config: ExperimentConfig, apps: tuple[str, ...] | None = None
+) -> list[StudyRequest]:
+    """Study cells Figure 2 needs: every panel app × thread count."""
+    return [
+        crossarch_request(app, threads)
+        for app in (apps or EVALUATED_APPS)
+        for threads in config.thread_counts
+    ]
+
+
+def build(
+    results: Mapping[StudyRequest, dict],
+    config: ExperimentConfig,
+    apps: tuple[str, ...] | None = None,
 ) -> Figure2:
-    """Sweep apps × thread counts and collect the error grid."""
-    config = config or default_config()
-    runner = StudyRunner(config)
+    """Assemble the error grid from executed study cells."""
+    summaries = decode_summaries(results)
     panels = {}
     for app in apps or EVALUATED_APPS:
         points = []
         for threads in config.thread_counts:
-            summary = runner.study(app, threads)
+            summary = summaries[(app, threads)]
             for label in _CONFIG_ORDER:
                 cfg = summary.config(label)
                 for metric in PMU_METRICS:
@@ -127,3 +150,14 @@ def run(
                     )
         panels[app] = Figure2Panel(app=app, panel_id=PANEL_IDS[app], points=points)
     return Figure2(panels=panels)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    apps: tuple[str, ...] | None = None,
+    scheduler: StudyScheduler | None = None,
+) -> Figure2:
+    """Sweep apps × thread counts and collect the error grid."""
+    config = config or default_config()
+    scheduler = scheduler or StudyScheduler(config)
+    return build(scheduler.run(requests(config, apps)), config, apps)

@@ -15,16 +15,16 @@ Three failure groups the paper documents:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Mapping
 
-from repro.core.errors import CrossArchitectureMismatch
-from repro.core.pipeline import BarrierPointPipeline
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
 from repro.experiments.config import ExperimentConfig, default_config
-from repro.isa.descriptors import ISA
 from repro.util.tables import render_table
-from repro.workloads.registry import SINGLE_REGION_APPS, create
+from repro.workloads.registry import SINGLE_REGION_APPS
 
-__all__ = ["LimitationRow", "Limitations", "run"]
+__all__ = ["LimitationRow", "Limitations", "requests", "build", "run"]
 
 
 @dataclass(frozen=True)
@@ -72,47 +72,69 @@ class Limitations:
         )
 
 
-def run(config: ExperimentConfig | None = None, threads: int = 8) -> Limitations:
-    """Check the limitation groups explicitly."""
-    config = config or default_config()
-    pipeline_config = config.pipeline_config()
-    rows = []
+def requests(config: ExperimentConfig, threads: int = 8) -> list[StudyRequest]:
+    """One applicability cell per limitation-group app."""
+    return [
+        StudyRequest(kind="limitations", app=app, threads=threads)
+        for app in SINGLE_REGION_APPS + ("HPGMG-FV",)
+    ]
 
-    for app_name in SINGLE_REGION_APPS:
-        pipeline = BarrierPointPipeline(
-            create(app_name), threads, config=pipeline_config
-        )
-        selection = pipeline.discover()[0]
-        rows.append(
-            LimitationRow(
-                app=app_name,
-                total_bps=selection.n_barrier_points,
-                selected=selection.k,
-                offers_gain=selection.offers_gain,
-                cross_arch_ok=True,
-                note="embarrassingly parallel: full core loop must run",
-            )
-        )
 
-    pipeline = BarrierPointPipeline(create("HPGMG-FV"), threads, config=pipeline_config)
+def limitation_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
+    """Executor for ``"limitations"`` cells: one app's verdict."""
+    from repro.core.errors import CrossArchitectureMismatch
+    from repro.core.pipeline import BarrierPointPipeline
+    from repro.isa.descriptors import ISA
+    from repro.workloads.registry import create
+
+    pipeline = BarrierPointPipeline(
+        create(request.app), request.threads, config=config.pipeline_config()
+    )
     selection = pipeline.discover()[0]
-    try:
-        pipeline.evaluate(selection, ISA.ARMV8)
-        cross_ok, note = True, "unexpectedly matched"
-    except CrossArchitectureMismatch as exc:
-        cross_ok = False
-        note = (
-            f"convergence differs: {exc.source_count} BPs on x86_64, "
-            f"{exc.target_count} on ARMv8"
-        )
-    rows.append(
+
+    if request.app in SINGLE_REGION_APPS:
+        cross_ok = True
+        note = "embarrassingly parallel: full core loop must run"
+    else:
+        try:
+            pipeline.evaluate(selection, ISA.ARMV8)
+            cross_ok, note = True, "unexpectedly matched"
+        except CrossArchitectureMismatch as exc:
+            cross_ok = False
+            note = (
+                f"convergence differs: {exc.source_count} BPs on x86_64, "
+                f"{exc.target_count} on ARMv8"
+            )
+    return asdict(
         LimitationRow(
-            app="HPGMG-FV",
-            total_bps=selection.n_barrier_points,
-            selected=selection.k,
-            offers_gain=selection.offers_gain,
+            app=request.app,
+            total_bps=int(selection.n_barrier_points),
+            selected=int(selection.k),
+            offers_gain=bool(selection.offers_gain),
             cross_arch_ok=cross_ok,
             note=note,
         )
     )
+
+
+def build(
+    results: Mapping[StudyRequest, dict],
+    config: ExperimentConfig,
+    threads: int = 8,
+) -> Limitations:
+    """Assemble the applicability table from executed cells."""
+    rows = [
+        LimitationRow(**results[request]) for request in requests(config, threads)
+    ]
     return Limitations(rows=rows)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    threads: int = 8,
+    scheduler: StudyScheduler | None = None,
+) -> Limitations:
+    """Check the limitation groups explicitly."""
+    config = config or default_config()
+    scheduler = scheduler or StudyScheduler(config)
+    return build(scheduler.run(requests(config, threads)), config, threads)

@@ -1,28 +1,36 @@
-"""Cross-architecture study execution with disk caching.
+"""Cross-architecture study cells and the :class:`StudyRunner` facade.
 
 Tables III/IV and every Figure 2 panel derive from the same underlying
 sweep: a :class:`~repro.core.crossarch.CrossArchStudy` per (application,
-thread count).  :class:`StudyRunner` executes them once, reduces each to
-a JSON-serialisable :class:`StudySummary`, and caches the summaries on
-disk keyed by the full protocol (seed, runs, repetitions), so re-running
-a bench or rendering another table reuses the work.
+thread count).  Each such cell is declared as a ``"crossarch"``
+:class:`~repro.exec.request.StudyRequest` and executed through the
+:class:`~repro.exec.scheduler.StudyScheduler`, which deduplicates cells
+shared across experiments, runs them on the configured backend and
+caches the JSON payloads content-addressed on disk.
+
+:class:`StudyRunner` survives as a thin imperative facade over the
+engine for callers (and tests) that want ``runner.study(app, threads)``
+without dealing in requests.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import asdict, dataclass, field
-from pathlib import Path
+from dataclasses import asdict, dataclass
+from typing import Mapping
 
-from repro.core.crossarch import CrossArchStudy
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
 from repro.experiments.config import ExperimentConfig
 from repro.hw.pmu import PMU_METRICS
-from repro.workloads.registry import create
 
-__all__ = ["ConfigSummary", "StudySummary", "StudyRunner"]
-
-#: Bump when summary contents or the underlying models change shape.
-_CACHE_VERSION = 4
+__all__ = [
+    "ConfigSummary",
+    "StudySummary",
+    "StudyRunner",
+    "crossarch_request",
+    "crossarch_cell",
+    "decode_summaries",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +73,26 @@ class StudySummary:
         """Most barrier points selected across discovery runs."""
         return max(self.selected_counts)
 
+    def to_payload(self) -> dict:
+        """JSON-shaped payload for the cache store / process boundary."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "StudySummary":
+        """Rebuild a summary from :meth:`to_payload` output."""
+        configs = {
+            label: ConfigSummary(**data)
+            for label, data in payload["configs"].items()
+        }
+        return cls(
+            app=payload["app"],
+            threads=payload["threads"],
+            total_barrier_points=payload["total_barrier_points"],
+            configs=configs,
+            failures=dict(payload["failures"]),
+            selected_counts=list(payload["selected_counts"]),
+        )
+
 
 def _summarise(study_result) -> StudySummary:
     configs = {}
@@ -91,76 +119,72 @@ def _summarise(study_result) -> StudySummary:
     )
 
 
+# ---------------------------------------------------------------- engine
+def crossarch_request(app: str, threads: int) -> StudyRequest:
+    """Declare the four-way cross-architecture cell for one (app, threads)."""
+    return StudyRequest(kind="crossarch", app=app, threads=threads)
+
+
+def crossarch_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
+    """Executor for ``"crossarch"`` cells (runs in scheduler workers)."""
+    from repro.core.crossarch import CrossArchStudy
+    from repro.workloads.registry import create
+
+    study = CrossArchStudy(
+        create(request.app), request.threads, config.pipeline_config()
+    )
+    return _summarise(study.run()).to_payload()
+
+
+def decode_summaries(
+    results: Mapping[StudyRequest, dict]
+) -> dict[tuple[str, int], StudySummary]:
+    """Decode scheduler payloads into (app, threads) → summary."""
+    return {
+        (request.app, request.threads): StudySummary.from_payload(payload)
+        for request, payload in results.items()
+        if request.kind == "crossarch"
+    }
+
+
 class StudyRunner:
-    """Executes and caches cross-architecture studies.
+    """Imperative facade over the study-graph engine.
 
     Parameters
     ----------
     config:
-        Experiment protocol; part of the cache key.
+        Experiment protocol; part of every cache address.
+    scheduler:
+        Share an existing scheduler (and its memo/stats) instead of
+        building a private one.
     """
 
-    def __init__(self, config: ExperimentConfig) -> None:
+    def __init__(
+        self, config: ExperimentConfig, scheduler: StudyScheduler | None = None
+    ) -> None:
         self.config = config
+        self.scheduler = scheduler or StudyScheduler(config)
         self._memory: dict[tuple[str, int], StudySummary] = {}
 
-    # ------------------------------------------------------------- cache
-    def _cache_path(self, app: str, threads: int) -> Path | None:
-        if not self.config.cache_dir:
-            return None
-        c = self.config
-        name = (
-            f"v{_CACHE_VERSION}_{app}_t{threads}_s{c.seed}"
-            f"_d{c.discovery_runs}_r{c.repetitions}.json"
-        )
-        return Path(c.cache_dir) / name
-
-    def _load(self, path: Path) -> StudySummary | None:
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
-        configs = {
-            label: ConfigSummary(**data) for label, data in payload["configs"].items()
-        }
-        return StudySummary(
-            app=payload["app"],
-            threads=payload["threads"],
-            total_barrier_points=payload["total_barrier_points"],
-            configs=configs,
-            failures=payload["failures"],
-            selected_counts=payload["selected_counts"],
-        )
-
-    def _store(self, path: Path, summary: StudySummary) -> None:
-        payload = asdict(summary)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=1, sort_keys=True))
-
-    # --------------------------------------------------------------- run
     def study(self, app_name: str, threads: int) -> StudySummary:
         """Run (or fetch) the study for one (application, threads) cell."""
-        key = (app_name, threads)
-        if key in self._memory:
-            return self._memory[key]
-
-        path = self._cache_path(app_name, threads)
-        if path is not None and path.exists():
-            cached = self._load(path)
-            if cached is not None:
-                self._memory[key] = cached
-                return cached
-
-        study = CrossArchStudy(
-            create(app_name), threads, self.config.pipeline_config()
-        )
-        summary = _summarise(study.run())
-        self._memory[key] = summary
-        if path is not None:
-            self._store(path, summary)
-        return summary
+        return self.sweep([app_name], [threads])[0]
 
     def sweep(self, app_names, thread_counts=None) -> list[StudySummary]:
-        """Run studies for a cross product of apps and thread counts."""
+        """Run studies for a cross product of apps and thread counts.
+
+        The whole product is handed to the scheduler in one batch, so a
+        parallel backend overlaps every cell of the sweep.
+        """
         threads = thread_counts or self.config.thread_counts
-        return [self.study(app, t) for app in app_names for t in threads]
+        requests = [
+            crossarch_request(app, t) for app in app_names for t in threads
+        ]
+        results = self.scheduler.run(requests)
+        out = []
+        for request in requests:
+            key = (request.app, request.threads)
+            if key not in self._memory:
+                self._memory[key] = StudySummary.from_payload(results[request])
+            out.append(self._memory[key])
+        return out

@@ -9,13 +9,16 @@ settings, and the 10 discovery runs of each.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
 from repro.experiments.config import ExperimentConfig, default_config
-from repro.experiments.runner import StudyRunner
+from repro.experiments.runner import crossarch_request, decode_summaries
 from repro.util.tables import render_table
 from repro.workloads.registry import EVALUATED_APPS
 
-__all__ = ["Table3", "run", "PAPER_TABLE3"]
+__all__ = ["Table3", "requests", "build", "run", "PAPER_TABLE3"]
 
 _HEADERS = ("Application", "Total", "Min", "Max")
 
@@ -52,17 +55,35 @@ class Table3:
         )
 
 
-def run(config: ExperimentConfig | None = None) -> Table3:
-    """Sweep all evaluated apps × thread counts and count selections."""
-    config = config or default_config()
-    runner = StudyRunner(config)
+def requests(config: ExperimentConfig) -> list[StudyRequest]:
+    """Study cells Table III needs: every evaluated app × thread count."""
+    return [
+        crossarch_request(app, threads)
+        for app in EVALUATED_APPS
+        for threads in config.thread_counts
+    ]
+
+
+def build(results: Mapping[StudyRequest, dict], config: ExperimentConfig) -> Table3:
+    """Assemble Table III from executed study cells."""
+    summaries = decode_summaries(results)
     rows = []
     for app in EVALUATED_APPS:
         counts: list[int] = []
         total = 0
         for threads in config.thread_counts:
-            summary = runner.study(app, threads)
+            summary = summaries[(app, threads)]
             counts.extend(summary.selected_counts)
             total = max(total, summary.total_barrier_points)
         rows.append((app, total, min(counts), max(counts)))
     return Table3(rows=rows)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    scheduler: StudyScheduler | None = None,
+) -> Table3:
+    """Sweep all evaluated apps × thread counts and count selections."""
+    config = config or default_config()
+    scheduler = scheduler or StudyScheduler(config)
+    return build(scheduler.run(requests(config)), config)

@@ -9,13 +9,19 @@ speed-up (footnote d: the inverse of the total instruction fraction).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
 from repro.experiments.config import ExperimentConfig, default_config
-from repro.experiments.runner import StudyRunner
+from repro.experiments.runner import crossarch_request, decode_summaries
 from repro.util.tables import render_table
 from repro.workloads.registry import EVALUATED_APPS
 
-__all__ = ["Table4Row", "Table4", "run", "PAPER_TABLE4"]
+__all__ = ["Table4Row", "Table4", "requests", "build", "run", "PAPER_TABLE4"]
+
+#: Table IV reports the widest (8-thread) configuration.
+_TABLE4_THREADS = 8
 
 #: Paper values: (BPs, err_cyc_x86, err_cyc_arm, err_ins_x86, err_ins_arm,
 #: largest_pct, total_pct, speedup), per (app, vectorised).
@@ -102,13 +108,17 @@ class Table4:
         )
 
 
-def run(config: ExperimentConfig | None = None) -> Table4:
-    """Build Table IV from the 8-thread studies."""
-    config = config or default_config()
-    runner = StudyRunner(config)
+def requests(config: ExperimentConfig) -> list[StudyRequest]:
+    """Study cells Table IV needs: the 8-thread cell of every app."""
+    return [crossarch_request(app, _TABLE4_THREADS) for app in EVALUATED_APPS]
+
+
+def build(results: Mapping[StudyRequest, dict], config: ExperimentConfig) -> Table4:
+    """Assemble Table IV from executed study cells."""
+    summaries = decode_summaries(results)
     rows = []
     for app in EVALUATED_APPS:
-        summary = runner.study(app, 8)
+        summary = summaries[(app, _TABLE4_THREADS)]
         for vectorised in (False, True):
             suffix = "-vect" if vectorised else ""
             x86 = summary.config(f"x86_64{suffix}")
@@ -129,3 +139,13 @@ def run(config: ExperimentConfig | None = None) -> Table4:
                 )
             )
     return Table4(rows=rows)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    scheduler: StudyScheduler | None = None,
+) -> Table4:
+    """Build Table IV from the 8-thread studies."""
+    config = config or default_config()
+    scheduler = scheduler or StudyScheduler(config)
+    return build(scheduler.run(requests(config)), config)

@@ -14,18 +14,17 @@ Two studies the paper runs before trusting any estimate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Mapping
 
-from repro.core.pipeline import BarrierPointPipeline
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
 from repro.experiments.config import ExperimentConfig, default_config
-from repro.hw.machines import machine_for
-from repro.hw.measure import variability_cv
 from repro.hw.pmu import PMU_METRICS
-from repro.isa.descriptors import ISA
 from repro.util.tables import render_table
-from repro.workloads.registry import EVALUATED_APPS, create
+from repro.workloads.registry import EVALUATED_APPS
 
-__all__ = ["VariabilityRow", "VariabilityStudy", "run"]
+__all__ = ["VariabilityRow", "VariabilityStudy", "requests", "build", "run"]
 
 _STUDY_APPS = EVALUATED_APPS + ("HPGMG-FV",)
 
@@ -81,43 +80,84 @@ class VariabilityStudy:
         )
 
 
-def run(
-    config: ExperimentConfig | None = None, threads: int = 8
-) -> VariabilityStudy:
-    """Compute per-app, per-platform CV and instrumentation overhead."""
-    config = config or default_config()
+def requests(config: ExperimentConfig, threads: int = 8) -> list[StudyRequest]:
+    """One cell per studied app (both platforms computed inside it)."""
+    return [
+        StudyRequest(kind="variability", app=app, threads=threads)
+        for app in _STUDY_APPS
+    ]
+
+
+def variability_cell(request: StudyRequest, config: ExperimentConfig) -> list[dict]:
+    """Executor for ``"variability"`` cells: both platforms of one app."""
+    from repro.core.pipeline import BarrierPointPipeline
+    from repro.hw.machines import machine_for
+    from repro.hw.measure import variability_cv
+    from repro.isa.descriptors import ISA
+    from repro.workloads.registry import create
+
+    pipeline = BarrierPointPipeline(
+        create(request.app),
+        threads=request.threads,
+        vectorised=False,
+        config=config.pipeline_config(),
+    )
     rows = []
-    for app_name in _STUDY_APPS:
-        app = create(app_name)
-        pipeline = BarrierPointPipeline(
-            app, threads=threads, vectorised=False, config=config.pipeline_config()
-        )
-        for isa in (ISA.X86_64, ISA.ARMV8):
-            counters = pipeline.counters(isa)
-            machine = machine_for(isa)
+    for isa in (ISA.X86_64, ISA.ARMV8):
+        counters = pipeline.counters(isa)
+        machine = machine_for(isa)
 
-            # Instruction-weighted mean: the paper's per-workload CV is
-            # dominated by the regions that dominate execution, not by
-            # near-empty counters of tiny coarse-grid regions.
-            cv = variability_cv(counters, machine)  # (n_bp, threads, 4)
-            weights = counters.bp_instructions()
-            weights = weights / weights.sum()
-            cv_mean = (cv.mean(axis=1) * weights[:, None]).sum(axis=0)
-            cv_max = cv.max(axis=(0, 1))
+        # Instruction-weighted mean: the paper's per-workload CV is
+        # dominated by the regions that dominate execution, not by
+        # near-empty counters of tiny coarse-grid regions.
+        cv = variability_cv(counters, machine)  # (n_bp, threads, 4)
+        weights = counters.bp_instructions()
+        weights = weights / weights.sum()
+        cv_mean = (cv.mean(axis=1) * weights[:, None]).sum(axis=0)
+        cv_max = cv.max(axis=(0, 1))
 
-            # Overhead: per-BP instrumented totals versus the clean ROI.
-            overhead_vec = config.pipeline_config().protocol.overhead.per_read()
-            biased = counters.totals() + counters.n_barrier_points * overhead_vec
-            clean = counters.totals()
-            overhead = (biased - clean).sum(axis=0) / clean.sum(axis=0)
+        # Overhead: per-BP instrumented totals versus the clean ROI.
+        overhead_vec = config.pipeline_config().protocol.overhead.per_read()
+        biased = counters.totals() + counters.n_barrier_points * overhead_vec
+        clean = counters.totals()
+        overhead = (biased - clean).sum(axis=0) / clean.sum(axis=0)
 
-            rows.append(
+        rows.append(
+            asdict(
                 VariabilityRow(
-                    app=app_name,
+                    app=request.app,
                     platform=isa.value,
                     cv_mean={m: float(cv_mean[i]) for i, m in enumerate(PMU_METRICS)},
                     cv_max={m: float(cv_max[i]) for i, m in enumerate(PMU_METRICS)},
-                    overhead={m: float(overhead[i]) for i, m in enumerate(PMU_METRICS)},
+                    overhead={
+                        m: float(overhead[i]) for i, m in enumerate(PMU_METRICS)
+                    },
                 )
             )
+        )
+    return rows
+
+
+def build(
+    results: Mapping[StudyRequest, list[dict]],
+    config: ExperimentConfig,
+    threads: int = 8,
+) -> VariabilityStudy:
+    """Assemble the Section V-C grid from executed cells."""
+    rows = [
+        VariabilityRow(**row)
+        for request in requests(config, threads)
+        for row in results[request]
+    ]
     return VariabilityStudy(rows=rows, threads=threads)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    threads: int = 8,
+    scheduler: StudyScheduler | None = None,
+) -> VariabilityStudy:
+    """Compute per-app, per-platform CV and instrumentation overhead."""
+    config = config or default_config()
+    scheduler = scheduler or StudyScheduler(config)
+    return build(scheduler.run(requests(config, threads)), config, threads)

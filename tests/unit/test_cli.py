@@ -29,3 +29,36 @@ class TestCli:
     def test_quick_flag_parses(self, capsys):
         # table2 ignores the config but the flag must parse.
         assert main(["table2", "--quick", "--no-cache", "--seed", "7"]) == 0
+
+    def test_scale_flag_parses(self, capsys):
+        assert main(["table2", "--scale", "quick", "--no-cache"]) == 0
+        with pytest.raises(SystemExit):
+            main(["table2", "--scale", "huge"])
+
+    def test_jobs_and_backend_flags_parse(self, capsys):
+        assert main(["table2", "--jobs", "2", "--backend", "threads"]) == 0
+        with pytest.raises(SystemExit):
+            main(["table2", "--backend", "gpu"])
+
+    def test_jobs_must_be_positive(self, capsys):
+        assert main(["table2", "--jobs", "0"]) == 2
+
+    def test_quick_conflicts_with_full_scale(self):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(["table2", "--quick", "--scale", "full"])
+
+    def test_scale_honours_environment(self, capsys, monkeypatch):
+        from repro.cli import _build_parser, _config_from_args
+
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        args = _build_parser().parse_args(["table3"])
+        config = _config_from_args(args)
+        assert config.discovery_runs == 3 and config.repetitions == 5
+
+    def test_cli_config_matches_default_factory(self, monkeypatch):
+        from repro.cli import _build_parser, _config_from_args
+        from repro.experiments.config import default_config
+
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        args = _build_parser().parse_args(["table3", "--quick"])
+        assert _config_from_args(args) == default_config("quick")
