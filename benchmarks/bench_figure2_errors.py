@@ -14,7 +14,6 @@ import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments import figure2
-from repro.hw.pmu import PMU_METRICS
 
 _CONFIGS = ("x86_64", "x86_64-vect", "ARMv8", "ARMv8-vect")
 

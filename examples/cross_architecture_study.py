@@ -16,14 +16,12 @@ refuse the architecture-dependent application.
 
 import sys
 
-from repro import CrossArchStudy, PipelineConfig, create_workload
+from repro import PipelineConfig, run_crossarch
 from repro.util.tables import render_table
 
 
 def study_app(name: str) -> None:
-    app = create_workload(name)
-    study = CrossArchStudy(app, threads=8, config=PipelineConfig(discovery_runs=5))
-    result = study.run()
+    result = run_crossarch(name, threads=8, config=PipelineConfig(discovery_runs=5))
 
     rows = []
     for label in ("x86_64", "x86_64-vect", "ARMv8", "ARMv8-vect"):

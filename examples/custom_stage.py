@@ -1,0 +1,105 @@
+"""Registering a third-party clustering stage end-to-end.
+
+The methodology is a graph of pluggable stages; this example swaps the
+SimPoint/BIC ``cluster`` stage for a weight-stratified variant *without
+touching any repro source file*:
+
+1. subclass :class:`repro.api.Stage`, producing the same ``clusterings``
+   artifact the built-in stage publishes,
+2. register it with ``@register_stage`` so ``repro stages`` lists it,
+3. assemble a pipeline with ``with_stage(..., replaces="cluster")``.
+
+Run with ``PYTHONPATH=src python examples/custom_stage.py``.
+"""
+
+import numpy as np
+
+from repro.api import (
+    PipelineConfig,
+    Stage,
+    build_pipeline,
+    register_stage,
+    stage_registry,
+)
+from repro.clustering.kmeans import KMeansResult
+from repro.clustering.simpoint import ClusteringChoice
+from repro.hw.measure import MeasurementProtocol
+
+
+@register_stage
+class WeightBandClusterStage(Stage):
+    """Cluster barrier points by instruction-weight decile.
+
+    A deliberately simple stand-in for SimPoint: barrier points whose
+    instruction counts fall in the same weight band share a cluster.
+    It demonstrates the contract — consume ``signatures``, publish
+    ``clusterings`` — not a better algorithm.
+    """
+
+    name = "weight-band-cluster"
+    inputs = ("signatures",)
+    outputs = ("clusterings",)
+    description = "third-party example: cluster by instruction-weight band"
+    cacheable = False
+
+    def __init__(self, bands: int = 8) -> None:
+        self.bands = bands
+
+    def cache_key(self, ctx):
+        return {"bands": self.bands}
+
+    def run(self, ctx):
+        clusterings = []
+        for signatures in ctx.require("signatures"):
+            weights = signatures.weights
+            edges = np.quantile(weights, np.linspace(0, 1, self.bands + 1)[1:-1])
+            labels = np.searchsorted(edges, weights).astype(np.int64)
+            # Renumber to dense 0..k-1 labels (some bands may be empty).
+            _, labels = np.unique(labels, return_inverse=True)
+            k = int(labels.max()) + 1
+            projected = weights[:, None].astype(float)
+            centers = np.array(
+                [projected[labels == c].mean(axis=0) for c in range(k)]
+            )
+            clusterings.append(
+                ClusteringChoice(
+                    k=k,
+                    result=KMeansResult(
+                        labels=labels, centers=centers, inertia=0.0, iterations=0
+                    ),
+                    projected=projected,
+                    bic_by_k={k: 0.0},
+                )
+            )
+        ctx.put("clusterings", clusterings)
+        return ctx
+
+
+def main() -> None:
+    print("registered stages:")
+    for name, description in stage_registry.describe():
+        print(f"  {name:20s} {description}")
+
+    config = PipelineConfig(
+        discovery_runs=3, protocol=MeasurementProtocol(repetitions=5)
+    )
+
+    for label, builder in (
+        ("SimPoint (built-in)", build_pipeline("miniFE", threads=8, config=config)),
+        (
+            "weight bands (plugin)",
+            build_pipeline("miniFE", threads=8, config=config).with_stage(
+                WeightBandClusterStage(bands=8), replaces="cluster"
+            ),
+        ),
+    ):
+        run = builder.on("ARMv8").run()
+        best = min(
+            run.evaluations_on("ARMv8"), key=lambda e: e.report.primary_error
+        )
+        print(f"\n{label}: k={best.selection.k}")
+        print(f"  {best}")
+
+
+if __name__ == "__main__":
+    main()

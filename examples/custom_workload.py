@@ -1,20 +1,20 @@
 #!/usr/bin/env python
 """Apply the methodology to your own OpenMP-style application model.
 
-The public workload API is open: describe your application's parallel
-regions (blocks, instruction mixes, memory patterns, drift) and the full
-BarrierPoint pipeline runs on it unchanged.  This example builds a small
-"particle-in-cell"-flavoured app with three region kinds and checks how
-well 4 threads of it can be estimated from a handful of barrier points.
+The workload registry is open: describe your application's parallel
+regions (blocks, instruction mixes, memory patterns, drift), decorate
+the class with ``@register_workload``, and the full BarrierPoint stage
+pipeline runs on it unchanged — including by registry name from the
+builder.  This example builds a small "particle-in-cell"-flavoured app
+with three region kinds and checks how well 4 threads of it can be
+estimated from a handful of barrier points.
 
 Usage::
 
     python examples/custom_workload.py
 """
 
-import numpy as np
-
-from repro import BarrierPointPipeline, ISA, PipelineConfig
+from repro import ISA, PipelineConfig, build_pipeline, register_workload
 from repro.ir import Drift, InstructionMix, MemoryPattern, PatternKind, Program
 from repro.isa.descriptors import ISA as IsaEnum
 from repro.workloads import ProxyApp, build_region, flatten_sequence
@@ -23,6 +23,7 @@ KIB = 1024
 MIB = 1024 * KIB
 
 
+@register_workload
 class MiniPIC(ProxyApp):
     """A toy particle-in-cell proxy: deposit, field solve, push."""
 
@@ -75,10 +76,11 @@ class MiniPIC(ProxyApp):
 
 
 def main() -> None:
-    app = MiniPIC()
-    pipeline = BarrierPointPipeline(
-        app, threads=4, config=PipelineConfig(discovery_runs=5)
-    )
+    # Registered above, so the registry name resolves (case-insensitively).
+    pipeline = build_pipeline(
+        "minipic", threads=4, config=PipelineConfig(discovery_runs=5)
+    ).build()
+    app = pipeline.app
     selections = pipeline.discover()
     sizes = sorted(s.k for s in selections)
     print(f"{app.name}: {selections[0].n_barrier_points} barrier points, "

@@ -4,29 +4,28 @@
 Runs the complete BarrierPoint workflow (Section V-A of the paper) on
 miniFE with 8 threads: discover representative barrier points on the
 x86_64 binary, measure them natively on both platforms, reconstruct the
-whole-program counters and validate against the full run.
+whole-program counters and validate against the full run — assembled
+through the stage-based ``repro.api``.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    BarrierPointPipeline,
-    ISA,
-    PMU_METRICS,
-    PipelineConfig,
-    create_workload,
-)
+from repro import ISA, PMU_METRICS, PipelineConfig, build_pipeline, create
 
 
 def main() -> None:
-    app = create_workload("miniFE")
+    app = create("miniFE")
     print(f"Application : {app.name} — {app.description}")
     print(f"Input       : {app.input_args}")
 
-    pipeline = BarrierPointPipeline(
-        app, threads=8, vectorised=False, config=PipelineConfig(discovery_runs=5)
+    # Assemble the seven-stage graph: profile → signature → cluster →
+    # select on x86_64, then measure → reconstruct → validate per target.
+    pipeline = (
+        build_pipeline(app, threads=8, config=PipelineConfig(discovery_runs=5))
+        .on(ISA.X86_64, ISA.ARMV8)
+        .build()
     )
 
     # Step 2: barrier point discovery & clustering (x86_64 only).

@@ -8,19 +8,41 @@ simulated stand-ins for the paper's Pin/PAPI/real-hardware toolchain.
 
 Quickstart
 ----------
->>> from repro import CrossArchStudy, create_workload
->>> study = CrossArchStudy(create_workload("miniFE"), threads=8)
->>> result = study.run()
->>> result.configs["ARMv8"].report.error_pct("cycles")  # doctest: +SKIP
-0.4
+>>> from repro import build_pipeline
+>>> run = build_pipeline("miniFE", threads=8).on("ARMv8").run()
+>>> best = min(run.evaluations_on("ARMv8"),
+...            key=lambda e: e.report.primary_error)  # doctest: +SKIP
+
+The stage-based API lives in :mod:`repro.api`: seven pluggable stages
+(profile → signature → cluster → select → measure → reconstruct →
+validate) assembled by :func:`repro.api.build_pipeline`, with open
+``@register_workload`` / ``@register_machine`` / ``@register_stage``
+registries.  ``BarrierPointPipeline``, ``CrossArchStudy`` and
+``create_workload`` remain as deprecation-shimmed facades.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison of every table and figure.
 """
 
+from repro.api import (
+    PipelineBuilder,
+    Stage,
+    StageContext,
+    StagePipeline,
+    build_pipeline,
+    machine_registry,
+    register_machine,
+    register_stage,
+    register_workload,
+    run_crossarch,
+    stage_registry,
+    workload_registry,
+)
+from repro.api.deprecation import warn_once
+from repro.api.types import EvaluationResult, PipelineConfig
 from repro.core.crossarch import ConfigResult, CrossArchResult, CrossArchStudy
 from repro.core.errors import CrossArchitectureMismatch, MethodologyError
-from repro.core.pipeline import BarrierPointPipeline, EvaluationResult, PipelineConfig
+from repro.core.pipeline import BarrierPointPipeline
 from repro.core.selection import BarrierPointSelection
 from repro.core.validation import EstimationReport
 from repro.hw.machines import APM_XGENE, INTEL_I7_3770, Machine, machine_for
@@ -28,6 +50,7 @@ from repro.hw.measure import MeasurementProtocol
 from repro.hw.pmu import PMU_METRICS
 from repro.isa.descriptors import ALL_BINARIES, ISA, BinaryConfig, binary_config
 from repro.util.rng import RngTree
+from repro.workloads.base import ProxyApp
 from repro.workloads.registry import (
     ACCURATE_APPS,
     EVALUATED_APPS,
@@ -35,14 +58,37 @@ from repro.workloads.registry import (
     SINGLE_REGION_APPS,
     TABLE1_ORDER,
     all_apps,
+    create,
 )
-from repro.workloads.registry import create as create_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def create_workload(name: str) -> ProxyApp:
+    """Deprecated alias of :func:`repro.workloads.registry.create`."""
+    warn_once(
+        "create_workload",
+        "create_workload is deprecated; use repro.workloads.registry.create"
+        " or repro.api.workload_registry.get",
+    )
+    return create(name)
 
 __all__ = [
     "__version__",
-    # methodology
+    # stage API
+    "build_pipeline",
+    "PipelineBuilder",
+    "StagePipeline",
+    "StageContext",
+    "Stage",
+    "run_crossarch",
+    "workload_registry",
+    "machine_registry",
+    "stage_registry",
+    "register_workload",
+    "register_machine",
+    "register_stage",
+    # legacy facades
     "BarrierPointPipeline",
     "PipelineConfig",
     "EvaluationResult",
@@ -66,6 +112,7 @@ __all__ = [
     "binary_config",
     "ALL_BINARIES",
     # workloads
+    "create",
     "create_workload",
     "all_apps",
     "REGISTRY",

@@ -1,0 +1,37 @@
+"""Bit-exact JSON encoding of numpy arrays for stage payloads.
+
+Stage payloads must be JSON-shaped so the content-addressed store can
+persist them and ship them across process boundaries, but decimal text
+would be ~3x larger than the data and float round-tripping mistakes are
+a classic source of cache-only result drift.  Arrays are therefore
+encoded as base64 of their raw little-endian bytes plus dtype/shape
+metadata: the round trip is exact to the bit, and a decoded stage is
+indistinguishable from a freshly computed one.
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+__all__ = ["encode_array", "decode_array"]
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """Encode one array as ``{dtype, shape, data}`` with base64 payload."""
+    array = np.ascontiguousarray(array)
+    if array.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts only
+        array = array.astype(array.dtype.newbyteorder("<"))
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    """Rebuild the exact array :func:`encode_array` saw."""
+    raw = base64.b64decode(payload["data"])
+    array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return array.reshape(tuple(payload["shape"])).copy()

@@ -1,0 +1,34 @@
+"""Warn-once helper for the legacy facade layer.
+
+The monolithic entry points (``BarrierPointPipeline``, ``CrossArchStudy``,
+``create_workload``) survive as thin facades over :mod:`repro.api`; each
+announces its replacement through :func:`warn_once` — exactly once per
+process per facade, so a sweep instantiating hundreds of pipelines does
+not drown the terminal.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_once", "reset_warnings"]
+
+_SEEN: set[str] = set()
+
+
+def warn_once(key: str, message: str) -> bool:
+    """Emit one :class:`DeprecationWarning` per ``key`` per process.
+
+    Returns whether the warning fired, which the deprecation tests use
+    to assert exactly-once behaviour.
+    """
+    if key in _SEEN:
+        return False
+    _SEEN.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+    return True
+
+
+def reset_warnings() -> None:
+    """Forget emitted warnings (tests only)."""
+    _SEEN.clear()

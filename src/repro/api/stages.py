@@ -1,0 +1,510 @@
+"""The seven first-class stages of the BarrierPoint methodology.
+
+The paper's workflow (Section V) decomposed from the old 278-line
+monolith into pluggable, individually cacheable steps:
+
+========== ===================== =============================================
+stage      artifacts             role
+========== ===================== =============================================
+profile    observations          execute the binary under the Pintool
+signature  signatures            combine BBV ⊕ LDV into signature vectors
+cluster    clusterings           SimPoint-style k sweep with BIC selection
+select     selections            representatives + multipliers per cluster
+measure    measurements          native per-BP and clean-ROI counters
+reconstruct estimates            scale representatives up to whole-program
+validate   evaluations           error vs. the clean region of interest
+========== ===================== =============================================
+
+Each stage takes its knobs either from the shared
+:class:`~repro.api.types.PipelineConfig` or from constructor overrides
+(``ClusterStage(max_k=10)``), and contributes exactly those knobs to its
+cache key — so the execution layer re-runs a stage (and everything
+downstream) precisely when one of *its* knobs changes.
+
+Discovery always happens on x86_64 — "this step is only run for the
+x86_64 versions of the binaries, as our objective is to extract the
+representative regions of the workloads on x86_64" (Section V-A) —
+while evaluation may target any registered machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+
+from repro.api.codec import decode_array, encode_array
+from repro.api.context import StageContext
+from repro.api.registry import register_stage
+from repro.api.stage import Stage
+from repro.api.types import EvaluationResult
+from repro.clustering.kmeans import KMeansResult
+from repro.clustering.simpoint import ClusteringChoice, SimPointOptions, run_simpoint
+from repro.core.errors import CrossArchitectureMismatch
+from repro.core.reconstruction import reconstruct_per_rep, reconstruct_totals
+from repro.core.selection import BarrierPointSelection, select_barrier_points
+from repro.core.signatures import SignatureMatrix, build_signatures
+from repro.core.validation import validate_estimate
+from repro.hw.machines import Machine
+from repro.instrumentation.collector import BarrierPointCollector, DiscoveryObservation
+from repro.isa.descriptors import ISA
+
+__all__ = [
+    "ProfileStage",
+    "SignatureStage",
+    "ClusterStage",
+    "SelectStage",
+    "MeasureStage",
+    "ReconstructStage",
+    "ValidateStage",
+    "DEFAULT_STAGE_NAMES",
+    "default_stages",
+    "evaluate_selection",
+]
+
+#: The canonical stage order of the paper's workflow.
+DEFAULT_STAGE_NAMES = (
+    "profile",
+    "signature",
+    "cluster",
+    "select",
+    "measure",
+    "reconstruct",
+    "validate",
+)
+
+
+def evaluate_selection(
+    ctx: StageContext,
+    selection: BarrierPointSelection,
+    machine: Machine,
+    isa: ISA | None = None,
+) -> EvaluationResult:
+    """Measure → reconstruct → validate one selection on one target.
+
+    The single source of truth both the eager facade
+    (``BarrierPointPipeline.evaluate``) and the staged graph reduce to;
+    raises :class:`~repro.core.errors.CrossArchitectureMismatch` when
+    the target's barrier sequence disagrees with discovery.  ``isa``
+    defaults to the machine's own ISA.
+    """
+    isa = isa or machine.isa
+    ctx.check_compatible(selection, machine, isa)
+    estimate = reconstruct_totals(selection, ctx.measured_means(machine, isa))
+    reference = ctx.reference_totals(machine, isa)
+    bp_reps, roi_reps = ctx.rep_samples(selection, machine, isa)
+    report = validate_estimate(
+        estimate,
+        reference,
+        estimate_reps=reconstruct_per_rep(selection, bp_reps),
+        reference_reps=roi_reps,
+    )
+    return EvaluationResult(
+        label=ctx.binary(isa).label, selection=selection, report=report
+    )
+
+
+@register_stage
+class ProfileStage(Stage):
+    """Step 1: run the instrumented x86_64 binary per discovery run."""
+
+    name = "profile"
+    inputs = ()
+    outputs = ("observations",)
+    description = "execute the binary under the Pintool (BBV/LDV collection)"
+    cacheable = True
+
+    def __init__(self, discovery_runs: int | None = None) -> None:
+        if discovery_runs is not None and discovery_runs < 1:
+            raise ValueError(f"discovery_runs must be >= 1, got {discovery_runs}")
+        self.discovery_runs = discovery_runs
+
+    def effective_runs(self, ctx: StageContext) -> int:
+        """Constructor override, else the shared configuration."""
+        if self.discovery_runs is not None:
+            return self.discovery_runs
+        return ctx.config.discovery_runs
+
+    def run(self, ctx: StageContext) -> StageContext:
+        trace = ctx.trace(ctx.discovery_isa)
+        counters = ctx.counters_on(ctx.discovery_isa)
+        label = ctx.binary(ctx.discovery_isa).label
+        collector = BarrierPointCollector(
+            ctx.tree.child("discovery", ctx.app.name, ctx.threads, label)
+        )
+        ctx.put(
+            "observations",
+            [
+                collector.collect(trace, counters, run)
+                for run in range(self.effective_runs(ctx))
+            ],
+        )
+        return ctx
+
+    def cache_key(self, ctx: StageContext) -> dict:
+        return {
+            "discovery_runs": self.effective_runs(ctx),
+            "discovery_isa": ctx.discovery_isa.value,
+        }
+
+    def encode(self, ctx: StageContext) -> dict:
+        return {
+            "observations": [
+                {
+                    "bbv": encode_array(obs.bbv),
+                    "ldv": encode_array(obs.ldv),
+                    "weights": encode_array(obs.weights),
+                    "run_index": int(obs.run_index),
+                }
+                for obs in ctx.require("observations")
+            ]
+        }
+
+    def decode(self, payload: dict, ctx: StageContext) -> None:
+        ctx.put(
+            "observations",
+            [
+                DiscoveryObservation(
+                    bbv=decode_array(row["bbv"]),
+                    ldv=decode_array(row["ldv"]),
+                    weights=decode_array(row["weights"]),
+                    run_index=int(row["run_index"]),
+                )
+                for row in payload["observations"]
+            ],
+        )
+
+
+@register_stage
+class SignatureStage(Stage):
+    """Step 2: combine each run's BBV and LDV into signature vectors."""
+
+    name = "signature"
+    inputs = ("observations",)
+    outputs = ("signatures",)
+    description = "combine BBV and LDV halves into signature vectors"
+    cacheable = True
+
+    def __init__(self, bbv_weight: float | None = None) -> None:
+        self.bbv_weight = bbv_weight
+
+    def effective_weight(self, ctx: StageContext) -> float:
+        """Constructor override, else the shared configuration."""
+        return self.bbv_weight if self.bbv_weight is not None else ctx.config.bbv_weight
+
+    def run(self, ctx: StageContext) -> StageContext:
+        weight = self.effective_weight(ctx)
+        ctx.put(
+            "signatures",
+            [build_signatures(obs, weight) for obs in ctx.require("observations")],
+        )
+        return ctx
+
+    def cache_key(self, ctx: StageContext) -> dict:
+        return {"bbv_weight": self.effective_weight(ctx)}
+
+    def encode(self, ctx: StageContext) -> dict:
+        return {
+            "signatures": [
+                {
+                    "combined": encode_array(sig.combined),
+                    "weights": encode_array(sig.weights),
+                    "bbv_dims": int(sig.bbv_dims),
+                    "ldv_dims": int(sig.ldv_dims),
+                }
+                for sig in ctx.require("signatures")
+            ]
+        }
+
+    def decode(self, payload: dict, ctx: StageContext) -> None:
+        ctx.put(
+            "signatures",
+            [
+                SignatureMatrix(
+                    combined=decode_array(row["combined"]),
+                    weights=decode_array(row["weights"]),
+                    bbv_dims=int(row["bbv_dims"]),
+                    ldv_dims=int(row["ldv_dims"]),
+                )
+                for row in payload["signatures"]
+            ],
+        )
+
+
+@register_stage
+class ClusterStage(Stage):
+    """Step 2½: SimPoint model selection over each run's signatures."""
+
+    name = "cluster"
+    inputs = ("signatures",)
+    outputs = ("clusterings",)
+    description = "SimPoint-style k-means sweep scored with BIC"
+    cacheable = True
+
+    def __init__(self, options: SimPointOptions | None = None, **overrides) -> None:
+        if "maxK" in overrides:  # the BarrierPoint papers spell it maxK
+            overrides["max_k"] = overrides.pop("maxK")
+        self.options = options
+        self.overrides = overrides
+
+    def effective_options(self, ctx: StageContext) -> SimPointOptions:
+        """Constructor options/overrides applied over the configuration."""
+        base = self.options or ctx.config.simpoint
+        return replace(base, **self.overrides) if self.overrides else base
+
+    def run(self, ctx: StageContext) -> StageContext:
+        options = self.effective_options(ctx)
+        label = ctx.binary(ctx.discovery_isa).label
+        clusterings = []
+        for run, signatures in enumerate(ctx.require("signatures")):
+            gen = ctx.tree.generator(
+                "simpoint", ctx.app.name, ctx.threads, label, run
+            )
+            clusterings.append(
+                run_simpoint(signatures.combined, signatures.weights, gen, options)
+            )
+        ctx.put("clusterings", clusterings)
+        return ctx
+
+    def cache_key(self, ctx: StageContext) -> dict:
+        return {"simpoint": asdict(self.effective_options(ctx))}
+
+    def encode(self, ctx: StageContext) -> dict:
+        return {
+            "clusterings": [
+                {
+                    "k": int(choice.k),
+                    "labels": encode_array(choice.result.labels),
+                    "centers": encode_array(choice.result.centers),
+                    "inertia": float(choice.result.inertia),
+                    "iterations": int(choice.result.iterations),
+                    "projected": encode_array(choice.projected),
+                    "bic_by_k": {str(k): float(v) for k, v in choice.bic_by_k.items()},
+                }
+                for choice in ctx.require("clusterings")
+            ]
+        }
+
+    def decode(self, payload: dict, ctx: StageContext) -> None:
+        ctx.put(
+            "clusterings",
+            [
+                ClusteringChoice(
+                    k=int(row["k"]),
+                    result=KMeansResult(
+                        labels=decode_array(row["labels"]),
+                        centers=decode_array(row["centers"]),
+                        inertia=float(row["inertia"]),
+                        iterations=int(row["iterations"]),
+                    ),
+                    projected=decode_array(row["projected"]),
+                    bic_by_k={int(k): float(v) for k, v in row["bic_by_k"].items()},
+                )
+                for row in payload["clusterings"]
+            ],
+        )
+
+
+@register_stage
+class SelectStage(Stage):
+    """Step 2¾: pick representatives and multipliers per clustering."""
+
+    name = "select"
+    inputs = ("clusterings", "signatures")
+    outputs = ("selections",)
+    description = "choose representative barrier points and multipliers"
+    cacheable = True
+
+    def run(self, ctx: StageContext) -> StageContext:
+        signatures = ctx.require("signatures")
+        ctx.put(
+            "selections",
+            [
+                select_barrier_points(choice, signatures[run].weights, run)
+                for run, choice in enumerate(ctx.require("clusterings"))
+            ],
+        )
+        return ctx
+
+    def cache_key(self, ctx: StageContext) -> dict:
+        return {}
+
+    def encode(self, ctx: StageContext) -> dict:
+        return {
+            "selections": [
+                {
+                    "representatives": encode_array(sel.representatives),
+                    "multipliers": encode_array(sel.multipliers),
+                    "labels": encode_array(sel.labels),
+                    "weights": encode_array(sel.weights),
+                    "run_index": int(sel.run_index),
+                }
+                for sel in ctx.require("selections")
+            ]
+        }
+
+    def decode(self, payload: dict, ctx: StageContext) -> None:
+        ctx.put(
+            "selections",
+            [
+                BarrierPointSelection(
+                    representatives=decode_array(row["representatives"]),
+                    multipliers=decode_array(row["multipliers"]),
+                    labels=decode_array(row["labels"]),
+                    weights=decode_array(row["weights"]),
+                    run_index=int(row["run_index"]),
+                )
+                for row in payload["selections"]
+            ],
+        )
+
+
+@register_stage
+class MeasureStage(Stage):
+    """Step 3: native counters on every target machine.
+
+    Per target: the instrumented per-barrier-point means, the clean ROI
+    reference, and the per-repetition reads of each selection's
+    representatives.  A target whose barrier sequence disagrees with
+    discovery (HPGMG-FV on ARMv8) is recorded under ``failures`` instead
+    of aborting the whole graph.
+    """
+
+    name = "measure"
+    inputs = ("selections",)
+    outputs = ("measurements", "failures")
+    description = "measure per-BP and clean-ROI counters on each target"
+    cacheable = True
+
+    def run(self, ctx: StageContext) -> StageContext:
+        selections = ctx.require("selections")
+        measurements: dict[str, dict] = {}
+        failures: dict[str, str] = dict(ctx.get("failures", {}))
+        for machine in ctx.targets:
+            try:
+                ctx.check_compatible(selections[0], machine)
+            except CrossArchitectureMismatch as exc:
+                failures[machine.name] = str(exc)
+                continue
+            reps = {}
+            for selection in selections:
+                bp_reps, roi_reps = ctx.rep_samples(selection, machine)
+                reps[selection.run_index] = {"bp": bp_reps, "roi": roi_reps}
+            measurements[machine.name] = {
+                "means": ctx.measured_means(machine),
+                "reference": ctx.reference_totals(machine),
+                "reps": reps,
+            }
+        ctx.put("measurements", measurements)
+        ctx.put("failures", failures)
+        return ctx
+
+    def cache_key(self, ctx: StageContext) -> dict:
+        return {
+            "protocol": asdict(ctx.config.protocol),
+            "targets": [machine.name for machine in ctx.targets],
+        }
+
+    def encode(self, ctx: StageContext) -> dict:
+        return {
+            "measurements": {
+                name: {
+                    "means": encode_array(entry["means"]),
+                    "reference": encode_array(entry["reference"]),
+                    "reps": {
+                        str(run): {
+                            "bp": encode_array(pair["bp"]),
+                            "roi": encode_array(pair["roi"]),
+                        }
+                        for run, pair in entry["reps"].items()
+                    },
+                }
+                for name, entry in ctx.require("measurements").items()
+            },
+            "failures": dict(ctx.require("failures")),
+        }
+
+    def decode(self, payload: dict, ctx: StageContext) -> None:
+        ctx.put(
+            "measurements",
+            {
+                name: {
+                    "means": decode_array(entry["means"]),
+                    "reference": decode_array(entry["reference"]),
+                    "reps": {
+                        int(run): {
+                            "bp": decode_array(pair["bp"]),
+                            "roi": decode_array(pair["roi"]),
+                        }
+                        for run, pair in entry["reps"].items()
+                    },
+                }
+                for name, entry in payload["measurements"].items()
+            },
+        )
+        ctx.put("failures", dict(payload["failures"]))
+
+
+@register_stage
+class ReconstructStage(Stage):
+    """Step 4: scale representatives up to whole-program estimates."""
+
+    name = "reconstruct"
+    inputs = ("selections", "measurements")
+    outputs = ("estimates",)
+    description = "reconstruct whole-program counters from representatives"
+
+    def run(self, ctx: StageContext) -> StageContext:
+        selections = ctx.require("selections")
+        estimates: dict[str, list[dict]] = {}
+        for name, entry in ctx.require("measurements").items():
+            estimates[name] = [
+                {
+                    "totals": reconstruct_totals(selection, entry["means"]),
+                    "per_rep": reconstruct_per_rep(
+                        selection, entry["reps"][selection.run_index]["bp"]
+                    ),
+                }
+                for selection in selections
+            ]
+        ctx.put("estimates", estimates)
+        return ctx
+
+
+@register_stage
+class ValidateStage(Stage):
+    """Step 5: validate each estimate against the clean ROI reference."""
+
+    name = "validate"
+    inputs = ("selections", "measurements", "estimates")
+    outputs = ("evaluations",)
+    description = "validate estimates against the clean region of interest"
+
+    def run(self, ctx: StageContext) -> StageContext:
+        selections = ctx.require("selections")
+        measurements = ctx.require("measurements")
+        by_name = {machine.name: machine for machine in ctx.targets}
+        evaluations: dict[str, list[EvaluationResult]] = {}
+        for name, per_selection in ctx.require("estimates").items():
+            entry = measurements[name]
+            label = ctx.binary(by_name[name].isa).label
+            evaluations[name] = [
+                EvaluationResult(
+                    label=label,
+                    selection=selection,
+                    report=validate_estimate(
+                        estimate["totals"],
+                        entry["reference"],
+                        estimate_reps=estimate["per_rep"],
+                        reference_reps=entry["reps"][selection.run_index]["roi"],
+                    ),
+                )
+                for selection, estimate in zip(selections, per_selection)
+            ]
+        ctx.put("evaluations", evaluations)
+        return ctx
+
+
+def default_stages() -> list[Stage]:
+    """Fresh default-configured instances of the seven canonical stages."""
+    from repro.api.registry import stage_registry
+
+    return [stage_registry.get(name)() for name in DEFAULT_STAGE_NAMES]

@@ -13,7 +13,9 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro coalesce        # future work: barrier-point coalescing
     repro coretypes       # future work: in-order vs out-of-order
     repro all             # every artefact from one scheduled pass
-    repro list            # workload registry
+    repro workloads       # registered workload plugins ('list' is an alias)
+    repro machines        # registered machine plugins
+    repro stages          # registered pipeline stages
 
 ``--scale quick`` (or the ``--quick`` shorthand) shrinks the protocol
 (3 discovery runs, 5 repetitions) for a fast look; the default
@@ -61,8 +63,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "list"],
-        help="which artefact to regenerate ('all' renders every one)",
+        choices=sorted(_EXPERIMENTS) + ["all", "list", "workloads", "machines", "stages"],
+        help="which artefact to regenerate ('all' renders every one); "
+        "'workloads'/'machines'/'stages' list the registered plugins",
     )
     parser.add_argument(
         "--scale",
@@ -92,6 +95,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution backend (default: processes when --jobs > 1)",
     )
     parser.add_argument(
+        "--max-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="cap the SimPoint cluster sweep (default 20); thanks to "
+        "stage-granular caching, changing this re-runs clustering onward "
+        "while profile/signature payloads come from cache",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk study cache"
     )
     parser.add_argument(
@@ -111,7 +123,41 @@ def _config_from_args(args: argparse.Namespace):
         overrides["seed"] = args.seed
     if args.no_cache:
         overrides["cache_dir"] = ""
+    if getattr(args, "max_k", None) is not None:
+        from dataclasses import replace as _replace
+
+        from repro.clustering.simpoint import SimPointOptions
+
+        overrides["simpoint"] = _replace(SimPointOptions(), max_k=args.max_k)
     return default_config(scale, **overrides)
+
+
+def _print_registry(which: str) -> None:
+    """List one plugin registry ('list' is the legacy workloads alias)."""
+    from repro.api.registry import (
+        machine_registry,
+        stage_registry,
+        workload_registry,
+    )
+
+    registry = {
+        "list": workload_registry,
+        "workloads": workload_registry,
+        "machines": machine_registry,
+        "stages": stage_registry,
+    }[which]
+    ordered = registry.names()
+    if registry is workload_registry:
+        # Preserve Table I order, then any third-party registrations.
+        from repro.workloads.registry import TABLE1_ORDER
+
+        ordered = TABLE1_ORDER + tuple(
+            name for name in ordered if name not in TABLE1_ORDER
+        )
+    entries = [registry.entry(name) for name in ordered]
+    width = max(len(entry.name) for entry in entries)
+    for entry in entries:
+        print(f"{entry.name:{width}s}  {entry.description}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -122,12 +168,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
 
-    if args.experiment == "list":
-        from repro.workloads.registry import TABLE1_ORDER, create
-
-        for name in TABLE1_ORDER:
-            app = create(name)
-            print(f"{app.name:12s} {app.description}")
+    if args.experiment in ("list", "workloads", "machines", "stages"):
+        _print_registry(args.experiment)
         return 0
 
     config = _config_from_args(args)
@@ -157,7 +199,22 @@ def main(argv: list[str] | None = None) -> int:
         print(result.render())
 
     if args.verbose:
+        from repro.exec.stagestore import stage_store_for
+
         print(f"[scheduler] {scheduler.stats.describe()}", file=sys.stderr)
+        if scheduler.backend.name == "processes" and scheduler.backend.jobs > 1:
+            # Cells ran in worker processes; this process's counters
+            # would misleadingly read as zero traffic.
+            print(
+                "[stage-cache] counters live in worker processes "
+                "(processes backend); rerun with --backend serial to see them",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"[stage-cache] {stage_store_for(config).stats.describe()}",
+                file=sys.stderr,
+            )
     return 0
 
 

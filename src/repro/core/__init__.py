@@ -12,19 +12,37 @@ Workflow (Section V-A), mapped to modules:
 4. *Program behaviour reconstruction* — :mod:`repro.core.reconstruction`.
 5. *Barrier point set validation* — :mod:`repro.core.validation`.
 
-:class:`repro.core.pipeline.BarrierPointPipeline` wires steps together
-for one (application, threads, vectorised) configuration, and
-:class:`repro.core.crossarch.CrossArchStudy` runs the paper's four-way
-comparison (x86_64 / ARMv8 × scalar / vectorised) for one application.
+The stages themselves are first-class plugins in :mod:`repro.api`;
+:class:`repro.core.pipeline.BarrierPointPipeline` and
+:class:`repro.core.crossarch.CrossArchStudy` remain as deprecation
+facades wiring them together the way the seed did.
 """
 
-from repro.core.crossarch import ConfigResult, CrossArchResult, CrossArchStudy
 from repro.core.errors import CrossArchitectureMismatch, MethodologyError
-from repro.core.pipeline import BarrierPointPipeline, EvaluationResult, PipelineConfig
 from repro.core.reconstruction import reconstruct_per_rep, reconstruct_totals
 from repro.core.selection import BarrierPointSelection, select_barrier_points
 from repro.core.signatures import SignatureMatrix, build_signatures
 from repro.core.validation import EstimationReport, validate_estimate
+
+#: Facade names resolved lazily (PEP 562): the facade modules import
+#: :mod:`repro.api`, whose own modules import the step modules above —
+#: eager imports here would close an import cycle.
+_FACADES = {
+    "BarrierPointPipeline": "repro.core.pipeline",
+    "EvaluationResult": "repro.core.pipeline",
+    "PipelineConfig": "repro.core.pipeline",
+    "CrossArchStudy": "repro.core.crossarch",
+    "CrossArchResult": "repro.core.crossarch",
+    "ConfigResult": "repro.core.crossarch",
+}
+
+
+def __getattr__(name: str):
+    if name in _FACADES:
+        from importlib import import_module
+
+        return getattr(import_module(_FACADES[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "SignatureMatrix",

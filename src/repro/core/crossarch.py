@@ -1,109 +1,30 @@
-"""The cross-architectural study (Section VI).
+"""Legacy facade: the cross-architectural study entry point.
 
-For one application and thread count, :class:`CrossArchStudy` performs
-the paper's four comparisons:
-
-* ``x86_64``       — x86_64 scalar discovery → x86_64 scalar estimate
-* ``ARMv8``        — x86_64 scalar discovery → ARMv8 scalar estimate
-* ``x86_64-vect``  — x86_64 vector discovery → x86_64 vector estimate
-* ``ARMv8-vect``   — x86_64 vector discovery → ARMv8 vector estimate
-
-Per vectorisation setting it runs the configured number of discovery
-runs, evaluates every resulting barrier point set on both platforms, and
-keeps the set with the lowest worst-case error across the four metrics
-and both platforms — the selection rule behind Figure 2 and Table IV
-("the barrier point sets with the lowest estimation errors").
+The four-way comparison now lives in :func:`repro.api.run_crossarch`
+on the stage API; :class:`CrossArchStudy` survives as a thin
+deprecation-shimmed facade producing byte-identical results.  The
+result dataclasses are re-exported from :mod:`repro.api.study`, their
+new home.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.errors import CrossArchitectureMismatch
-from repro.core.pipeline import (
-    BarrierPointPipeline,
-    EvaluationResult,
-    PipelineConfig,
-    SupportsProgram,
+from repro.api.deprecation import warn_once
+from repro.api.study import (  # noqa: F401  (re-exported legacy names)
+    CONFIG_LABELS,
+    ConfigResult,
+    CrossArchResult,
+    run_crossarch,
 )
-from repro.core.selection import BarrierPointSelection
-from repro.isa.descriptors import ISA
+from repro.api.types import PipelineConfig, SupportsProgram
 
-__all__ = ["ConfigResult", "CrossArchResult", "CrossArchStudy"]
-
-#: Evaluation order of the four configuration labels (paper's legend).
-CONFIG_LABELS = ("x86_64", "x86_64-vect", "ARMv8", "ARMv8-vect")
-
-
-@dataclass(frozen=True)
-class ConfigResult:
-    """Best-set validation outcome for one configuration label."""
-
-    label: str
-    evaluation: EvaluationResult
-
-    @property
-    def selection(self) -> BarrierPointSelection:
-        """The barrier point set used for this configuration."""
-        return self.evaluation.selection
-
-    @property
-    def report(self):
-        """The estimation errors."""
-        return self.evaluation.report
-
-
-@dataclass
-class CrossArchResult:
-    """Everything the paper reports for one (application, threads) cell.
-
-    Attributes
-    ----------
-    app_name / threads:
-        The configuration.
-    configs:
-        Label → :class:`ConfigResult` for each configuration that could
-        be evaluated.
-    failures:
-        Label → explanation for configurations the methodology could
-        not be applied to (e.g. HPGMG-FV's sequence mismatch on ARMv8).
-    selections:
-        Vectorised? → all discovered barrier point sets (Table III's
-        min/max derive from these across configurations).
-    """
-
-    app_name: str
-    threads: int
-    configs: dict[str, ConfigResult] = field(default_factory=dict)
-    failures: dict[str, str] = field(default_factory=dict)
-    selections: dict[bool, list[BarrierPointSelection]] = field(default_factory=dict)
-
-    def config(self, label: str) -> ConfigResult:
-        """Result for one configuration label; raises if it failed."""
-        if label in self.failures:
-            raise CrossArchitectureMismatch(self.app_name, -1, -1)
-        return self.configs[label]
-
-    def selection_sizes(self) -> list[int]:
-        """Barrier points selected (k) across every discovery run/setting."""
-        return [
-            s.k for sels in self.selections.values() for s in sels
-        ]
-
-    @property
-    def total_barrier_points(self) -> int:
-        """Total dynamic barrier points of the x86_64 execution."""
-        some = next(iter(self.selections.values()))
-        return some[0].n_barrier_points
-
-    def best_selection(self, vectorised: bool) -> BarrierPointSelection:
-        """The reported (lowest-error) set of one vectorisation setting."""
-        label = "x86_64-vect" if vectorised else "x86_64"
-        return self.configs[label].selection
+__all__ = ["CONFIG_LABELS", "ConfigResult", "CrossArchResult", "CrossArchStudy", "run_crossarch"]
 
 
 class CrossArchStudy:
     """Run the four-way cross-architecture comparison for one app.
+
+    Deprecated facade over :func:`repro.api.run_crossarch`.
 
     Parameters
     ----------
@@ -121,47 +42,14 @@ class CrossArchStudy:
         threads: int,
         config: PipelineConfig | None = None,
     ) -> None:
+        warn_once(
+            "CrossArchStudy",
+            "CrossArchStudy is deprecated; use repro.api.run_crossarch(...)",
+        )
         self.app = app
         self.threads = threads
         self.config = config or PipelineConfig()
 
     def run(self) -> CrossArchResult:
         """Execute discovery + evaluation for all four configurations."""
-        result = CrossArchResult(app_name=self.app.name, threads=self.threads)
-
-        for vectorised in (False, True):
-            pipeline = BarrierPointPipeline(
-                self.app, self.threads, vectorised, self.config
-            )
-            selections = pipeline.discover()
-            result.selections[vectorised] = selections
-
-            x86_label = pipeline.binary(ISA.X86_64).label
-            arm_label = pipeline.binary(ISA.ARMV8).label
-
-            x86_evals = pipeline.evaluate_many(selections, ISA.X86_64)
-            try:
-                arm_evals = pipeline.evaluate_many(selections, ISA.ARMV8)
-            except CrossArchitectureMismatch as exc:
-                arm_evals = None
-                result.failures[arm_label] = str(exc)
-
-            # Rank sets on the performance metrics (cycles/instructions)
-            # across both platforms; cache-miss anomalies are not tuned
-            # away, matching the paper's reported behaviour.
-            scores = []
-            for idx in range(len(selections)):
-                worst = x86_evals[idx].report.primary_error
-                if arm_evals is not None:
-                    worst = max(worst, arm_evals[idx].report.primary_error)
-                scores.append(worst)
-            best = min(range(len(selections)), key=scores.__getitem__)
-
-            result.configs[x86_label] = ConfigResult(
-                label=x86_label, evaluation=x86_evals[best]
-            )
-            if arm_evals is not None:
-                result.configs[arm_label] = ConfigResult(
-                    label=arm_label, evaluation=arm_evals[best]
-                )
-        return result
+        return run_crossarch(self.app, self.threads, self.config)

@@ -1,104 +1,46 @@
-"""End-to-end BarrierPoint pipeline for one configuration.
+"""Legacy facade: the monolithic BarrierPoint pipeline entry point.
 
-A :class:`BarrierPointPipeline` owns one (application, thread count,
-vectorised?) configuration and walks the paper's workflow: execute the
-x86_64 binary under the Pintool, cluster the signatures into barrier
-point sets (10 discovery runs by default), measure per-barrier-point
-counters natively on any target platform, reconstruct the whole-program
-counters and validate them against the clean region-of-interest run.
+The end-to-end workflow now lives in :mod:`repro.api` as seven
+composable stages assembled by :func:`repro.api.build_pipeline`;
+:class:`BarrierPointPipeline` survives as a thin deprecation-shimmed
+facade so historical callers (and the seed's integration tests) keep
+working bit-for-bit.  ``PipelineConfig``, ``EvaluationResult`` and
+``SupportsProgram`` are re-exported from :mod:`repro.api.types`, their
+new home.
 
-Discovery always happens on x86_64 — "this step is only run for the
-x86_64 versions of the binaries, as our objective is to extract the
-representative regions of the workloads on x86_64" (Section V-A) — while
-evaluation may target either ISA.
+Prefer::
+
+    from repro.api import build_pipeline
+
+    pipeline = build_pipeline("miniFE", threads=8).build()
+    selections = pipeline.discover()
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Protocol
-
 import numpy as np
 
-from repro.clustering.simpoint import SimPointOptions, run_simpoint
-from repro.core.errors import CrossArchitectureMismatch
-from repro.core.reconstruction import reconstruct_per_rep, reconstruct_totals
-from repro.core.selection import BarrierPointSelection, select_barrier_points
-from repro.core.signatures import build_signatures
-from repro.core.validation import EstimationReport, validate_estimate
-from repro.hw.machines import Machine, machine_for
-from repro.hw.measure import (
-    MeasurementProtocol,
-    measure_barrier_point_means,
-    measure_roi_totals,
-    sample_barrier_point_reps,
-    sample_roi_reps,
+from repro.api.builder import StagePipeline
+from repro.api.deprecation import warn_once
+from repro.api.types import (  # noqa: F401  (re-exported legacy names)
+    EvaluationResult,
+    PipelineConfig,
+    SupportsProgram,
 )
-from repro.hw.perf import PerfModel, TrueCounters
-from repro.instrumentation.collector import BarrierPointCollector
-from repro.ir.program import Program
-from repro.ir.trace import ExecutionTrace
+from repro.core.selection import BarrierPointSelection
+from repro.hw.machines import Machine
+from repro.hw.perf import TrueCounters
 from repro.isa.descriptors import ISA, BinaryConfig
-from repro.runtime.execution import execute_program
-from repro.util.rng import RngTree
 
 __all__ = ["SupportsProgram", "PipelineConfig", "EvaluationResult", "BarrierPointPipeline"]
 
 
-class SupportsProgram(Protocol):
-    """Anything that can supply a program per (threads, ISA) — the
-    contract the workload classes implement."""
-
-    name: str
-
-    def program(self, threads: int, isa: ISA) -> Program:  # pragma: no cover
-        """Build the region-of-interest program for a configuration."""
-        ...
-
-
-@dataclass(frozen=True)
-class PipelineConfig:
-    """Pipeline parameters; defaults follow the paper's protocol.
-
-    Attributes
-    ----------
-    discovery_runs:
-        Barrier-point discovery repetitions (paper: 10).
-    simpoint:
-        Clustering options (maxK = 20 etc.).
-    protocol:
-        Measurement protocol (20 repetitions, pinned).
-    bbv_weight:
-        BBV/LDV balance inside signature vectors.
-    seed:
-        Root seed of the configuration's randomness tree.
-    """
-
-    discovery_runs: int = 10
-    simpoint: SimPointOptions = field(default_factory=SimPointOptions)
-    protocol: MeasurementProtocol = field(default_factory=MeasurementProtocol)
-    bbv_weight: float = 0.5
-    seed: int = 2017
-
-    def __post_init__(self) -> None:
-        if self.discovery_runs < 1:
-            raise ValueError(f"discovery_runs must be >= 1, got {self.discovery_runs}")
-
-
-@dataclass(frozen=True)
-class EvaluationResult:
-    """Validation of one barrier point set on one platform."""
-
-    label: str
-    selection: BarrierPointSelection
-    report: EstimationReport
-
-    def __str__(self) -> str:
-        return f"{self.label}: k={self.selection.k}, {self.report.summary()}"
-
-
 class BarrierPointPipeline:
-    """Workflow Steps 1-5 for one (app, threads, vectorised) configuration."""
+    """Workflow Steps 1-5 for one (app, threads, vectorised) configuration.
+
+    Deprecated facade over :class:`repro.api.StagePipeline`; produces
+    byte-identical results to the pre-stage implementation.
+    """
 
     DISCOVERY_ISA = ISA.X86_64
 
@@ -109,170 +51,87 @@ class BarrierPointPipeline:
         vectorised: bool = False,
         config: PipelineConfig | None = None,
     ) -> None:
-        self.app = app
-        self.threads = threads
-        self.vectorised = vectorised
-        self.config = config or PipelineConfig()
-        self._tree = RngTree(self.config.seed)
-        self._traces: dict[ISA, ExecutionTrace] = {}
-        self._counters: dict[ISA, TrueCounters] = {}
-        self._measured: dict[tuple[ISA, str], np.ndarray] = {}
-        self._references: dict[tuple[ISA, str], np.ndarray] = {}
+        warn_once(
+            "BarrierPointPipeline",
+            "BarrierPointPipeline is deprecated; use repro.api.build_pipeline(...)"
+            " to assemble a stage pipeline",
+        )
+        self._impl = StagePipeline(
+            app, threads, vectorised, config, discovery_isa=self.DISCOVERY_ISA
+        )
+
+    # ------------------------------------------------------------ identity
+    @property
+    def app(self) -> SupportsProgram:
+        """The workload under study."""
+        return self._impl.app
+
+    @property
+    def threads(self) -> int:
+        """Team width."""
+        return self._impl.threads
+
+    @property
+    def vectorised(self) -> bool:
+        """Whether the vectorised binary variant runs."""
+        return self._impl.vectorised
+
+    @property
+    def config(self) -> PipelineConfig:
+        """Pipeline parameters."""
+        return self._impl.config
+
+    @property
+    def _tree(self):
+        """Root of the configuration's randomness tree (legacy access)."""
+        return self._impl.context.tree
 
     # ----------------------------------------------------------- plumbing
     def binary(self, isa: ISA) -> BinaryConfig:
         """The binary variant executed on ``isa`` in this configuration."""
-        return BinaryConfig(isa, self.vectorised)
+        return self._impl.binary(isa)
 
-    def trace(self, isa: ISA) -> ExecutionTrace:
-        """The (cached) dynamic execution on one ISA.
-
-        Structural randomness is keyed only by (app, threads): both ISAs
-        and both vectorisation settings observe the same input data and
-        barrier-point sequence, exactly as native runs of the same
-        problem would — except where the application itself iterates
-        differently per architecture (HPGMG-FV).
-        """
-        if isa not in self._traces:
-            program = self.app.program(self.threads, isa)
-            self._traces[isa] = execute_program(
-                program,
-                self.binary(isa),
-                self.threads,
-                self._tree.child("structure", self.app.name, self.threads),
-            )
-        return self._traces[isa]
+    def trace(self, isa: ISA):
+        """The (cached) dynamic execution on one ISA."""
+        return self._impl.trace(isa)
 
     def counters(self, isa: ISA) -> TrueCounters:
         """True (noise-free) per-barrier-point counters on one machine."""
-        if isa not in self._counters:
-            model = PerfModel(self._tree.child("uarch", self.app.name, self.threads))
-            self._counters[isa] = model.true_counters(self.trace(isa), machine_for(isa))
-        return self._counters[isa]
+        return self._impl.counters(isa)
+
+    def _counters_on(self, isa: ISA, machine: Machine) -> TrueCounters:
+        """True counters on an explicit machine (legacy spelling)."""
+        return self._impl.counters_on(isa, machine)
 
     # ------------------------------------------------------ Steps 1 and 2
     def discover(self) -> list[BarrierPointSelection]:
-        """Run barrier-point discovery on x86_64 (paper: 10 runs).
-
-        Returns one :class:`BarrierPointSelection` per discovery run;
-        thread-interleaving jitter makes them differ, reproducing the
-        min/max spread of Table III.
-        """
-        trace = self.trace(self.DISCOVERY_ISA)
-        counters = self.counters(self.DISCOVERY_ISA)
-        label = self.binary(self.DISCOVERY_ISA).label
-        collector = BarrierPointCollector(
-            self._tree.child("discovery", self.app.name, self.threads, label)
-        )
-        selections = []
-        for run in range(self.config.discovery_runs):
-            observation = collector.collect(trace, counters, run)
-            signatures = build_signatures(observation, self.config.bbv_weight)
-            gen = self._tree.generator(
-                "simpoint", self.app.name, self.threads, label, run
-            )
-            choice = run_simpoint(
-                signatures.combined, signatures.weights, gen, self.config.simpoint
-            )
-            selections.append(select_barrier_points(choice, signatures.weights, run))
-        return selections
+        """Run barrier-point discovery on x86_64 (paper: 10 runs)."""
+        return self._impl.discover()
 
     # ------------------------------------------------------------- Step 3
-    def measured_means(self, isa: ISA, machine: "Machine | None" = None) -> np.ndarray:
-        """Mean per-barrier-point counters on a platform (instrumented run).
+    def measured_means(self, isa: ISA, machine: Machine | None = None) -> np.ndarray:
+        """Mean per-barrier-point counters on a platform (instrumented run)."""
+        return self._impl.measured_means(isa, machine)
 
-        ``machine`` defaults to the paper's machine for the ISA; passing
-        another machine of the same ISA supports the core-type study
-        (Section VIII future work).
-        """
-        machine = machine or machine_for(isa)
-        key = (isa, machine.name)
-        if key not in self._measured:
-            rng = self._tree.child(
-                "measure", self.app.name, self.threads,
-                self.binary(isa).label, machine.name,
-            )
-            self._measured[key] = measure_barrier_point_means(
-                self._counters_on(isa, machine), machine, self.config.protocol, rng
-            )
-        return self._measured[key]
-
-    def reference_totals(self, isa: ISA, machine: "Machine | None" = None) -> np.ndarray:
+    def reference_totals(self, isa: ISA, machine: Machine | None = None) -> np.ndarray:
         """Mean clean ROI counters on a platform (the validation target)."""
-        machine = machine or machine_for(isa)
-        key = (isa, machine.name)
-        if key not in self._references:
-            rng = self._tree.child(
-                "measure", self.app.name, self.threads,
-                self.binary(isa).label, machine.name,
-            )
-            self._references[key] = measure_roi_totals(
-                self._counters_on(isa, machine), machine, self.config.protocol, rng
-            )
-        return self._references[key]
-
-    def _counters_on(self, isa: ISA, machine: "Machine") -> TrueCounters:
-        """True counters on an explicit machine (cached for defaults)."""
-        if machine is machine_for(isa):
-            return self.counters(isa)
-        model = PerfModel(self._tree.child("uarch", self.app.name, self.threads))
-        return model.true_counters(self.trace(isa), machine)
+        return self._impl.reference_totals(isa, machine)
 
     # ------------------------------------------------------ Steps 4 and 5
     def evaluate(
         self,
         selection: BarrierPointSelection,
         isa: ISA,
-        machine: "Machine | None" = None,
+        machine: Machine | None = None,
     ) -> EvaluationResult:
-        """Reconstruct and validate one barrier point set on one platform.
-
-        Parameters
-        ----------
-        machine:
-            Optional machine override of the same ISA (core-type study).
-
-        Raises
-        ------
-        CrossArchitectureMismatch
-            If the target executes a different number of barrier points
-            than the discovery architecture (Section V-B's HPGMG-FV
-            limitation).
-        """
-        machine = machine or machine_for(isa)
-        counters = self._counters_on(isa, machine)
-        if counters.n_barrier_points != selection.n_barrier_points:
-            raise CrossArchitectureMismatch(
-                self.app.name, selection.n_barrier_points, counters.n_barrier_points
-            )
-        label = self.binary(isa).label
-
-        estimate = reconstruct_totals(selection, self.measured_means(isa, machine))
-        reference = self.reference_totals(isa, machine)
-
-        rep_rng = self._tree.child(
-            "per-rep", self.app.name, self.threads, label, machine.name,
-            selection.run_index,
-        )
-        rep_samples = sample_barrier_point_reps(
-            counters, machine, self.config.protocol, rep_rng, selection.representatives
-        )
-        roi_samples = sample_roi_reps(
-            counters, machine, self.config.protocol, rep_rng
-        )
-        report = validate_estimate(
-            estimate,
-            reference,
-            estimate_reps=reconstruct_per_rep(selection, rep_samples),
-            reference_reps=roi_samples,
-        )
-        return EvaluationResult(label=label, selection=selection, report=report)
+        """Reconstruct and validate one barrier point set on one platform."""
+        return self._impl.evaluate(selection, isa, machine)
 
     def evaluate_many(
         self,
         selections: list[BarrierPointSelection],
         isa: ISA,
-        machine: "Machine | None" = None,
+        machine: Machine | None = None,
     ) -> list[EvaluationResult]:
         """Evaluate several barrier point sets on one platform."""
-        return [self.evaluate(selection, isa, machine) for selection in selections]
+        return self._impl.evaluate_many(selections, isa, machine)

@@ -1,0 +1,141 @@
+"""Stage-granular content-addressed cache.
+
+The cell-level :class:`~repro.exec.store.StudyStore` hashes the *whole*
+configuration, so changing any knob re-executes the full cell from
+profiling onward.  :class:`StageStore` addresses payloads by a *digest
+chain* instead: each stage folds its own cache-key contribution into the
+digest of everything upstream, so a ``maxK`` change relocates the
+cluster/select/measure entries while the profile and signature entries
+keep their addresses — a re-run reuses them and only clusters onward.
+
+Hit/miss counters are kept per stage name (:class:`StageCacheStats`);
+the stage-invalidation tests assert cache behaviour through them, and
+``--verbose`` prints them after a run.  :func:`stage_store_for` memoises
+one store per cache directory within a process so those counters are
+observable wherever cells execute in-process (serial/thread backends).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exec.store import CACHE_VERSION, read_json, write_json_atomic
+
+__all__ = [
+    "StageCacheStats",
+    "StageStore",
+    "base_digest",
+    "chain_digest",
+    "stage_store_for",
+]
+
+
+def chain_digest(parent: str, stage_name: str, cache_key: dict) -> str:
+    """Fold one stage's identity into the digest chain.
+
+    ``cache_key`` must be JSON-shaped; it is serialised with sorted keys
+    so dict ordering can never split an address.
+    """
+    blob = json.dumps(
+        {"parent": parent, "stage": stage_name, "key": cache_key}, sort_keys=True
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def base_digest(**identity) -> str:
+    """Root of a digest chain (workload/threads/vectorised/seed...)."""
+    blob = json.dumps({"cache_version": CACHE_VERSION, **identity}, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StageCacheStats:
+    """Per-stage hit/miss counters of one :class:`StageStore`."""
+
+    hits: Counter = field(default_factory=Counter)
+    misses: Counter = field(default_factory=Counter)
+
+    def hit_count(self, stage: str) -> int:
+        """Cache hits recorded for one stage name."""
+        return self.hits[stage]
+
+    def miss_count(self, stage: str) -> int:
+        """Cache misses recorded for one stage name."""
+        return self.misses[stage]
+
+    def reset(self) -> None:
+        """Zero every counter (tests isolate phases with this)."""
+        self.hits.clear()
+        self.misses.clear()
+
+    def describe(self) -> str:
+        """One-line summary for verbose CLI output."""
+        stages = sorted(set(self.hits) | set(self.misses))
+        if not stages:
+            return "no stage cache traffic"
+        parts = [f"{s}:{self.hits[s]}/{self.hits[s] + self.misses[s]}" for s in stages]
+        return "stage cache hits " + " ".join(parts)
+
+
+class StageStore:
+    """Digest-addressed JSON payload cache with per-stage counters.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root cache directory; stage entries live in a ``stages/``
+        subdirectory next to the cell entries.  '' disables the store
+        (every load misses, stores are no-ops, counters stay zero).
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self._dir = Path(cache_dir) / "stages" if cache_dir else None
+        self.stats = StageCacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a cache directory is configured."""
+        return self._dir is not None
+
+    def path(self, digest: str, stage_name: str) -> Path | None:
+        """Cache file for one stage digest (None when disabled)."""
+        if self._dir is None:
+            return None
+        return self._dir / f"v{CACHE_VERSION}_{stage_name}_{digest[:24]}.json"
+
+    def load(self, digest: str, stage_name: str):
+        """Stored payload for a stage digest, or None on miss/corruption."""
+        path = self.path(digest, stage_name)
+        payload = read_json(path) if path is not None else None
+        if payload is None:
+            self.stats.misses[stage_name] += 1
+        else:
+            self.stats.hits[stage_name] += 1
+        return payload
+
+    def store(self, digest: str, stage_name: str, payload) -> None:
+        """Atomically persist one stage payload."""
+        path = self.path(digest, stage_name)
+        if path is not None:
+            write_json_atomic(path, payload)
+
+
+_STORES: dict[str, StageStore] = {}
+
+
+def stage_store_for(config) -> StageStore:
+    """Process-local shared store for one configuration's cache_dir.
+
+    Sharing one instance per directory makes the hit counters meaningful
+    across every cell executed in this process, which is what the CLI
+    ``--verbose`` summary and the invalidation tests read.
+    """
+    key = str(config.cache_dir or "")
+    if key not in _STORES:
+        _STORES[key] = StageStore(key)
+    return _STORES[key]

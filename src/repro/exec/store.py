@@ -24,10 +24,52 @@ from pathlib import Path
 
 from repro.exec.request import StudyRequest
 
-__all__ = ["CACHE_VERSION", "config_fingerprint", "request_digest", "StudyStore"]
+__all__ = [
+    "CACHE_VERSION",
+    "config_fingerprint",
+    "request_digest",
+    "StudyStore",
+    "read_json",
+    "write_json_atomic",
+]
 
 #: Bump when payload contents or the underlying models change shape.
 CACHE_VERSION = 5
+
+
+def read_json(path: Path):
+    """Read one JSON cache entry; None on miss or corruption.
+
+    A corrupt entry (truncated file, bad JSON) is removed so the slot
+    can be rewritten cleanly by the next write.
+    """
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def write_json_atomic(path: Path, payload) -> None:
+    """Atomically persist one JSON payload (temp file + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, indent=1, sort_keys=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def config_fingerprint(config) -> str:
@@ -102,34 +144,13 @@ class StudyStore:
         A corrupt entry is removed so the slot can be rewritten cleanly.
         """
         path = self.path(request)
-        if path is None or not path.exists():
+        if path is None:
             return None
-        try:
-            return json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+        return read_json(path)
 
     def store(self, request: StudyRequest, payload) -> None:
         """Atomically persist one cell payload (temp file + rename)."""
         path = self.path(request)
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        text = json.dumps(payload, indent=1, sort_keys=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        write_json_atomic(path, payload)

@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.clustering.simpoint import SimPointOptions
-from repro.core.pipeline import BarrierPointPipeline, PipelineConfig
+from repro.api.builder import build_pipeline
 from repro.core.selection import BarrierPointSelection
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.hw.measure import MeasurementProtocol
@@ -114,7 +114,7 @@ def signature_ablation(
     points = []
     for label, bbv_weight in (("BBV only", 1.0), ("LDV only", 0.0), ("BBV+LDV", 0.5)):
         pipe_cfg = replace(config.pipeline_config(), bbv_weight=bbv_weight)
-        pipeline = BarrierPointPipeline(app, threads, config=pipe_cfg)
+        pipeline = build_pipeline(app, threads, config=pipe_cfg).build()
         selection = pipeline.discover()[0]
         report = pipeline.evaluate(selection, ISA.ARMV8).report
         points.append(
@@ -136,7 +136,7 @@ def maxk_ablation(
         pipe_cfg = replace(
             config.pipeline_config(), simpoint=SimPointOptions(max_k=max_k)
         )
-        pipeline = BarrierPointPipeline(app, threads, config=pipe_cfg)
+        pipeline = build_pipeline(app, threads, config=pipe_cfg).build()
         selection = pipeline.discover()[0]
         report = pipeline.evaluate(selection, ISA.X86_64).report
         points.append(
@@ -155,7 +155,7 @@ def drop_small_ablation(
 ) -> AblationResult:
     """Reproduce Section VI-C: dropping small BPs hurts cache estimates."""
     config = config or default_config()
-    pipeline = BarrierPointPipeline(app, threads, config=config.pipeline_config())
+    pipeline = build_pipeline(app, threads, config=config.pipeline_config()).build()
     base = pipeline.discover()[0]
     points = []
     for threshold in thresholds:
@@ -184,7 +184,7 @@ def repetitions_ablation(
         pipe_cfg = replace(
             config.pipeline_config(), protocol=MeasurementProtocol(repetitions=reps)
         )
-        pipeline = BarrierPointPipeline(app, threads, config=pipe_cfg)
+        pipeline = build_pipeline(app, threads, config=pipe_cfg).build()
         selection = pipeline.discover()[0]
         report = pipeline.evaluate(selection, ISA.ARMV8).report
         points.append(

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.clustering.simpoint import run_simpoint
 from repro.core.coalesce import aggregate_observation, aggregate_values, coalesce_groups
-from repro.core.pipeline import BarrierPointPipeline
+from repro.api.builder import StagePipeline, build_pipeline
 from repro.core.reconstruction import reconstruct_totals
 from repro.core.selection import select_barrier_points
 from repro.core.signatures import build_signatures
@@ -83,7 +83,7 @@ class CoalesceStudy:
 
 
 def _evaluate_grouped(
-    pipeline: BarrierPointPipeline,
+    pipeline: StagePipeline,
     groups: np.ndarray,
     isa: ISA,
 ) -> tuple[EstimationReport, int]:
@@ -91,13 +91,13 @@ def _evaluate_grouped(
     machine = machine_for(isa)
     x86_counters = pipeline.counters(ISA.X86_64)
     collector = BarrierPointCollector(
-        pipeline._tree.child("coalesce-discovery", pipeline.app.name, pipeline.threads)
+        pipeline.context.tree.child("coalesce-discovery", pipeline.app.name, pipeline.threads)
     )
     observation = aggregate_observation(
         collector.collect(pipeline.trace(ISA.X86_64), x86_counters, 0), groups
     )
     signatures = build_signatures(observation, pipeline.config.bbv_weight)
-    gen = pipeline._tree.generator(
+    gen = pipeline.context.tree.generator(
         "coalesce-simpoint", pipeline.app.name, pipeline.threads
     )
     choice = run_simpoint(
@@ -111,7 +111,7 @@ def _evaluate_grouped(
     grouped_counters = TrueCounters(
         values=grouped_values, trace=target.trace, machine_name=machine.name
     )
-    rng = pipeline._tree.child(
+    rng = pipeline.context.tree.child(
         "coalesce-measure", pipeline.app.name, pipeline.threads, isa.value
     )
     measured = measure_barrier_point_means(
@@ -154,9 +154,9 @@ def coalesce_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
 
     isa = ISA(request.param("isa"))
     threshold = float(request.param("threshold"))
-    pipeline = BarrierPointPipeline(
+    pipeline = build_pipeline(
         create(request.app), request.threads, config=config.pipeline_config()
-    )
+    ).build()
     weights = pipeline.counters(ISA.X86_64).bp_instructions()
     groups = coalesce_groups(weights, threshold)
     report, k = _evaluate_grouped(pipeline, groups, isa)

@@ -13,8 +13,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 
+from repro.api.types import PipelineConfig
 from repro.clustering.simpoint import SimPointOptions
-from repro.core.pipeline import PipelineConfig
 from repro.hw.measure import MeasurementProtocol
 
 __all__ = ["ExperimentConfig", "default_config", "SCALES"]

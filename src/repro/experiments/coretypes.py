@@ -93,21 +93,21 @@ def requests(
 
 def coretype_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
     """Executor for ``"coretypes"`` cells: one app on both core types."""
-    from repro.core.pipeline import BarrierPointPipeline
+    from repro.api.builder import build_pipeline
     from repro.hw.machines import APM_XGENE, ARMV8_IN_ORDER
     from repro.hw.pmu import CYCLES, INSTRUCTIONS
     from repro.isa.descriptors import ISA
     from repro.workloads.registry import create
 
-    pipeline = BarrierPointPipeline(
+    pipeline = build_pipeline(
         create(request.app), request.threads, config=config.pipeline_config()
-    )
+    ).build()
     selection = pipeline.discover()[0]
     ooo = pipeline.evaluate(selection, ISA.ARMV8, machine=APM_XGENE)
     io = pipeline.evaluate(selection, ISA.ARMV8, machine=ARMV8_IN_ORDER)
 
-    ooo_totals = pipeline._counters_on(ISA.ARMV8, APM_XGENE).totals().sum(axis=0)
-    io_totals = pipeline._counters_on(ISA.ARMV8, ARMV8_IN_ORDER).totals().sum(axis=0)
+    ooo_totals = pipeline.counters_on(ISA.ARMV8, APM_XGENE).totals().sum(axis=0)
+    io_totals = pipeline.counters_on(ISA.ARMV8, ARMV8_IN_ORDER).totals().sum(axis=0)
     cpi_ratio = (io_totals[CYCLES] / io_totals[INSTRUCTIONS]) / (
         ooo_totals[CYCLES] / ooo_totals[INSTRUCTIONS]
     )

@@ -66,17 +66,16 @@ def requests(config: ExperimentConfig) -> list[StudyRequest]:
 
 def figure1_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
     """Executor for the ``"figure1"`` cell (runs in scheduler workers)."""
-    from repro.core.pipeline import BarrierPointPipeline
+    from repro.api.builder import build_pipeline
     from repro.hw.pmu import CYCLES, INSTRUCTIONS, L2D_MISSES
     from repro.isa.descriptors import ISA
     from repro.workloads.registry import create
 
-    pipeline = BarrierPointPipeline(
+    pipeline = build_pipeline(
         create(request.app),
         threads=request.threads,
-        vectorised=False,
         config=config.pipeline_config(),
-    )
+    ).build()
     measured = pipeline.measured_means(ISA.X86_64)  # (10, 1, 4)
 
     cycles = measured[:, 0, CYCLES]

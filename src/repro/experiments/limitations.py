@@ -83,13 +83,13 @@ def requests(config: ExperimentConfig, threads: int = 8) -> list[StudyRequest]:
 def limitation_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
     """Executor for ``"limitations"`` cells: one app's verdict."""
     from repro.core.errors import CrossArchitectureMismatch
-    from repro.core.pipeline import BarrierPointPipeline
+    from repro.api.builder import build_pipeline
     from repro.isa.descriptors import ISA
     from repro.workloads.registry import create
 
-    pipeline = BarrierPointPipeline(
+    pipeline = build_pipeline(
         create(request.app), request.threads, config=config.pipeline_config()
-    )
+    ).build()
     selection = pipeline.discover()[0]
 
     if request.app in SINGLE_REGION_APPS:

@@ -126,14 +126,22 @@ def crossarch_request(app: str, threads: int) -> StudyRequest:
 
 
 def crossarch_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
-    """Executor for ``"crossarch"`` cells (runs in scheduler workers)."""
-    from repro.core.crossarch import CrossArchStudy
-    from repro.workloads.registry import create
+    """Executor for ``"crossarch"`` cells (runs in scheduler workers).
 
-    study = CrossArchStudy(
-        create(request.app), request.threads, config.pipeline_config()
+    Runs the study as a stage graph against the stage-granular cache, so
+    a knob change (e.g. ``maxK``) recomputes only the stages downstream
+    of it; the profile/signature payloads come straight from disk.
+    """
+    from repro.api.study import run_crossarch
+    from repro.exec.stagestore import stage_store_for
+
+    result = run_crossarch(
+        request.app,
+        request.threads,
+        config.pipeline_config(),
+        store=stage_store_for(config),
     )
-    return _summarise(study.run()).to_payload()
+    return _summarise(result).to_payload()
 
 
 def decode_summaries(

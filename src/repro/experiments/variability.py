@@ -90,18 +90,17 @@ def requests(config: ExperimentConfig, threads: int = 8) -> list[StudyRequest]:
 
 def variability_cell(request: StudyRequest, config: ExperimentConfig) -> list[dict]:
     """Executor for ``"variability"`` cells: both platforms of one app."""
-    from repro.core.pipeline import BarrierPointPipeline
+    from repro.api.builder import build_pipeline
     from repro.hw.machines import machine_for
     from repro.hw.measure import variability_cv
     from repro.isa.descriptors import ISA
     from repro.workloads.registry import create
 
-    pipeline = BarrierPointPipeline(
+    pipeline = build_pipeline(
         create(request.app),
         threads=request.threads,
-        vectorised=False,
         config=config.pipeline_config(),
-    )
+    ).build()
     rows = []
     for isa in (ISA.X86_64, ISA.ARMV8):
         counters = pipeline.counters(isa)

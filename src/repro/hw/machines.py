@@ -395,3 +395,28 @@ def machine_for(isa: ISA) -> Machine:
     if isa is ISA.ARMV8:
         return APM_XGENE
     raise ValueError(f"no machine registered for ISA {isa!r}")
+
+
+def _register_builtin_machines() -> None:
+    # Imported here, not at module top: repro.api's package init pulls in
+    # this module, so a top-level import would be circular.  By this
+    # point every public name above exists, so re-entry is safe.
+    from repro.api.registry import register_machine
+
+    register_machine(
+        INTEL_I7_3770,
+        description="Table II x86_64 platform: Ivy Bridge, 4 cores x 2 SMT threads",
+    )
+    register_machine(
+        APM_XGENE,
+        description=(
+            "Table II ARMv8 platform: first-generation X-Gene, 4 clusters x 2 cores"
+        ),
+    )
+    register_machine(
+        ARMV8_IN_ORDER,
+        description="Section VIII core-type study: hypothetical in-order A53-class part",
+    )
+
+
+_register_builtin_machines()

@@ -22,11 +22,13 @@ from repro.ir.program import Program
 from repro.ir.regions import Drift
 from repro.isa.descriptors import ISA
 from repro.util.units import KIB, MIB
+from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["AMGMk"]
 
 
+@register_workload
 class AMGMk(ProxyApp):
     """Parallel algebraic multigrid solver microkernel."""
 

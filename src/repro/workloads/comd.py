@@ -23,11 +23,13 @@ from repro.ir.mix import InstructionMix
 from repro.ir.program import Program
 from repro.isa.descriptors import ISA
 from repro.util.units import KIB, MIB
+from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["CoMD"]
 
 
+@register_workload
 class CoMD(ProxyApp):
     """Classical molecular dynamics proxy application."""
 

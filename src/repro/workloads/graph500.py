@@ -18,11 +18,13 @@ from repro.ir.program import Program
 from repro.ir.regions import Drift
 from repro.isa.descriptors import ISA
 from repro.util.units import KIB, MIB
+from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["Graph500"]
 
 
+@register_workload
 class Graph500(ProxyApp):
     """Generation of, and BFS through, an undirected Kronecker graph."""
 

@@ -20,11 +20,13 @@ from repro.ir.mix import InstructionMix
 from repro.ir.program import Program
 from repro.isa.descriptors import ISA
 from repro.util.units import KIB, MIB
+from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["HPCG"]
 
 
+@register_workload
 class HPCG(ProxyApp):
     """Preconditioned conjugate gradient benchmark."""
 

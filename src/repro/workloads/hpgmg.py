@@ -32,6 +32,7 @@ from repro.ir.mix import InstructionMix
 from repro.ir.program import Program
 from repro.isa.descriptors import ISA
 from repro.util.units import KIB, MIB
+from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["HPGMGFV", "vcycles_to_converge"]
@@ -55,6 +56,7 @@ def vcycles_to_converge(isa: ISA) -> int:
     return math.ceil(math.log(_TOLERANCE) / math.log(rate))
 
 
+@register_workload
 class HPGMGFV(ProxyApp):
     """Finite-volume geometric multigrid proxy (inapplicable case)."""
 

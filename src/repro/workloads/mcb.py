@@ -22,12 +22,14 @@ from repro.ir.mix import InstructionMix
 from repro.ir.program import Program
 from repro.ir.regions import Drift
 from repro.isa.descriptors import ISA
-from repro.util.units import KIB, MIB
+from repro.util.units import KIB
+from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["MCB"]
 
 
+@register_workload
 class MCB(ProxyApp):
     """Monte Carlo transport benchmark with drifting locality."""
 

@@ -20,11 +20,13 @@ from repro.ir.mix import InstructionMix
 from repro.ir.program import Program
 from repro.isa.descriptors import ISA
 from repro.util.units import KIB, MIB
+from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["RSBench", "XSBench"]
 
 
+@register_workload
 class RSBench(ProxyApp):
     """Multipole cross-section lookup proxy: one huge parallel region."""
 
@@ -84,6 +86,7 @@ class RSBench(ProxyApp):
         return program
 
 
+@register_workload
 class XSBench(ProxyApp):
     """Macroscopic cross-section lookup proxy: one huge parallel region."""
 

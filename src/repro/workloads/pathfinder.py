@@ -14,11 +14,13 @@ from repro.ir.mix import InstructionMix
 from repro.ir.program import Program
 from repro.isa.descriptors import ISA
 from repro.util.units import KIB, MIB
+from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["PathFinder"]
 
 
+@register_workload
 class PathFinder(ProxyApp):
     """Signature search through labelled adjacency graphs."""
 

@@ -1,0 +1,99 @@
+"""Unit tests: legacy facades keep working and warn exactly once."""
+
+import warnings
+
+import pytest
+
+from repro.api.deprecation import reset_warnings, warn_once
+from repro.api.types import PipelineConfig
+from repro.hw.measure import MeasurementProtocol
+
+FAST = PipelineConfig(
+    discovery_runs=1,
+    protocol=MeasurementProtocol(repetitions=2),
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    """Each test observes a process that has never warned yet."""
+    reset_warnings()
+    yield
+    reset_warnings()
+
+
+def _deprecations(record):
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+class TestWarnOnce:
+    def test_first_call_fires_second_does_not(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            assert warn_once("k", "gone") is True
+            assert warn_once("k", "gone") is False
+        assert len(_deprecations(record)) == 1
+
+    def test_keys_are_independent(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            warn_once("a", "one")
+            warn_once("b", "two")
+        assert len(_deprecations(record)) == 2
+
+
+class TestFacadeShims:
+    def test_pipeline_import_path_and_single_warning(self):
+        from repro.core.pipeline import BarrierPointPipeline
+        from repro.workloads.registry import create
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            app = create("XSBench")
+            first = BarrierPointPipeline(app, threads=2, config=FAST)
+            second = BarrierPointPipeline(app, threads=2, config=FAST)
+        hits = _deprecations(record)
+        assert len(hits) == 1
+        assert "build_pipeline" in str(hits[0].message)
+        # ...and the facade still does its job.
+        assert len(first.discover()) == 1
+        assert second.threads == 2
+
+    def test_crossarch_import_path_and_single_warning(self):
+        from repro.core.crossarch import CrossArchStudy
+        from repro.workloads.registry import create
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            CrossArchStudy(create("XSBench"), threads=2, config=FAST)
+            CrossArchStudy(create("XSBench"), threads=2, config=FAST)
+        assert len(_deprecations(record)) == 1
+
+    def test_create_workload_single_warning(self):
+        import repro
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            assert repro.create_workload("MCB").name == "MCB"
+            assert repro.create_workload("miniFE").name == "miniFE"
+        hits = _deprecations(record)
+        assert len(hits) == 1
+        assert "create_workload" in str(hits[0].message)
+
+    def test_top_level_imports_survive(self):
+        # The legacy surface of repro/__init__ remains intact.
+        from repro import (  # noqa: F401
+            BarrierPointPipeline,
+            CrossArchStudy,
+            EvaluationResult,
+            PipelineConfig,
+            create_workload,
+        )
+
+    def test_plain_create_does_not_warn(self):
+        from repro.workloads.registry import create
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            create("MCB")
+        assert not _deprecations(record)

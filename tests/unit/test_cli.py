@@ -62,3 +62,32 @@ class TestCli:
         monkeypatch.delenv("REPRO_SCALE", raising=False)
         args = _build_parser().parse_args(["table3", "--quick"])
         assert _config_from_args(args) == default_config("quick")
+
+
+class TestRegistryListings:
+    def test_workloads_lists_table1(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 11
+        assert "miniFE" in out and "XSBench" in out
+
+    def test_workloads_matches_legacy_list(self, capsys):
+        assert main(["workloads"]) == 0
+        workloads_out = capsys.readouterr().out
+        assert main(["list"]) == 0
+        assert capsys.readouterr().out == workloads_out
+
+    def test_stages_lists_all_seven(self, capsys):
+        assert main(["stages"]) == 0
+        out = capsys.readouterr().out
+        for stage in (
+            "profile", "signature", "cluster", "select",
+            "measure", "reconstruct", "validate",
+        ):
+            assert stage in out
+        assert "Pintool" in out  # descriptions shown
+
+    def test_machines_lists_table2_platforms(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "i7-3770" in out and "X-Gene" in out and "in-order" in out
