@@ -1,0 +1,176 @@
+"""E-SCALE — the strong-scaling grid, timed, as a JSON perf baseline.
+
+Unlike the pytest-benchmark suites, this is a standalone script: CI
+runs it on every push and uploads the emitted JSON as an artifact, so
+the repository accumulates a perf trajectory the next optimisation PR
+can compare against (this file records the first point of it).
+
+Three sections land in the JSON:
+
+* ``grid``      — wall time of the scheduled apps × machines × threads
+  sweep (cold and stage-cached re-render) plus its shape;
+* ``kernels``   — microbenchmarks of the two vectorised kernels the
+  sweep leans on: BBV/signature accumulation and the exact
+  set-associative LRU simulator's lockstep path;
+* ``meta``      — scale, python/numpy versions, cpu count.
+
+Usage::
+
+    python benchmarks/bench_scaling_grid.py --scale smoke
+    python benchmarks/bench_scaling_grid.py --scale quick --jobs 4 \
+        --output bench-scaling-grid.json
+
+``smoke`` trims the grid to two apps × two machines × widths (1, 2, 4)
+on the quick protocol — small enough for a CI runner; ``quick`` and
+``full`` run the whole grid on the corresponding protocol scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.scaling import SCALING_MACHINES, SCALING_THREAD_COUNTS
+from repro.exec.scheduler import StudyScheduler
+from repro.experiments.config import default_config
+from repro.experiments.scaling import scaling_request
+from repro.workloads.registry import EVALUATED_APPS
+
+#: Bench scales: (protocol scale, apps, machines, thread counts).
+BENCH_SCALES = {
+    "smoke": ("quick", EVALUATED_APPS[:2], SCALING_MACHINES[:2], (1, 2, 4)),
+    "quick": ("quick", EVALUATED_APPS, SCALING_MACHINES, SCALING_THREAD_COUNTS),
+    "full": ("full", EVALUATED_APPS, SCALING_MACHINES, SCALING_THREAD_COUNTS),
+}
+
+
+def _grid_requests(apps, machines, thread_counts, config):
+    from repro.api.registry import machine_registry
+
+    return [
+        scaling_request(app, threads, machine)
+        for app in apps
+        for machine in machines
+        for threads in thread_counts
+        if machine_registry.get(machine).supports_threads(threads)
+    ]
+
+
+def bench_grid(scale: str, jobs: int, cache_dir: str) -> dict:
+    """Time the scheduled scaling grid, cold and stage-cached."""
+    protocol, apps, machines, thread_counts = BENCH_SCALES[scale]
+    config = default_config(
+        protocol,
+        cache_dir=cache_dir,
+        jobs=jobs,
+        backend="serial" if jobs == 1 else "processes",
+    )
+    requests = _grid_requests(apps, machines, thread_counts, config)
+
+    t0 = time.perf_counter()
+    cold = StudyScheduler(config).run(requests)
+    cold_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = StudyScheduler(config).run(requests)
+    warm_seconds = time.perf_counter() - t0
+    assert warm == cold, "stage-cached re-render must be bit-identical"
+
+    return {
+        "apps": len(apps),
+        "machines": len(machines),
+        "thread_counts": list(thread_counts),
+        "cells": len(requests),
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "cells_per_second_cold": round(len(requests) / cold_seconds, 3),
+    }
+
+
+def bench_bbv_kernel() -> dict:
+    """Microbenchmark: BBV collection over a real trace, per run."""
+    from repro.api.context import StageContext
+    from repro.instrumentation.bbv import collect_bbv
+    from repro.isa.descriptors import ISA
+    from repro.workloads.registry import create
+
+    ctx = StageContext(create("LULESH"), threads=8)
+    trace = ctx.trace(ISA.X86_64)
+    collect_bbv(trace)  # warm the per-trace memos (as discovery does)
+    t0 = time.perf_counter()
+    rounds = 5
+    for _ in range(rounds):
+        bbv = collect_bbv(trace)
+    seconds = (time.perf_counter() - t0) / rounds
+    return {
+        "workload": "LULESH",
+        "barrier_points": int(bbv.shape[0]),
+        "dimensions": int(bbv.shape[1]),
+        "seconds_per_run": round(seconds, 5),
+    }
+
+
+def bench_cache_kernel() -> dict:
+    """Microbenchmark: lockstep LRU simulation throughput (L1-sized)."""
+    from repro.mem.cache import CacheSimulator
+
+    gen = np.random.default_rng(2017)
+    lines = gen.integers(0, 8192, size=1_000_000)
+    cache = CacheSimulator(32 * 1024, 8)
+    cache.miss_mask(lines[:1000])  # touch the code paths once
+    t0 = time.perf_counter()
+    mask = cache.miss_mask(lines)
+    seconds = time.perf_counter() - t0
+    return {
+        "accesses": int(lines.size),
+        "misses": int(mask.sum()),
+        "accesses_per_second": round(lines.size / seconds),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(BENCH_SCALES), default="smoke")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="stage/study cache directory ('' disables caching)",
+    )
+    parser.add_argument(
+        "--output",
+        default="bench-scaling-grid.json",
+        metavar="PATH",
+        help="where to write the JSON baseline",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "bench": "scaling-grid",
+        "meta": {
+            "scale": args.scale,
+            "jobs": args.jobs,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "grid": bench_grid(args.scale, args.jobs, args.cache_dir),
+        "kernels": {
+            "bbv_collect": bench_bbv_kernel(),
+            "cache_lockstep": bench_cache_kernel(),
+        },
+    }
+    text = json.dumps(report, indent=2)
+    Path(args.output).write_text(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

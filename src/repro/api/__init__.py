@@ -40,6 +40,14 @@ from repro.api.registry import (
     stage_registry,
     workload_registry,
 )
+from repro.api.scaling import (
+    SCALING_MACHINES,
+    SCALING_THREAD_COUNTS,
+    ScalingCell,
+    ScalingResult,
+    ScalingStudy,
+    run_scaling_cell,
+)
 from repro.api.stage import Stage
 from repro.api.stages import (
     DEFAULT_STAGE_NAMES,
@@ -87,6 +95,12 @@ __all__ = [
     "evaluate_selection",
     "CrossArchResult",
     "run_crossarch",
+    "SCALING_MACHINES",
+    "SCALING_THREAD_COUNTS",
+    "ScalingCell",
+    "ScalingResult",
+    "ScalingStudy",
+    "run_scaling_cell",
     "EvaluationResult",
     "PipelineConfig",
     "SupportsProgram",

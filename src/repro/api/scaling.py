@@ -1,0 +1,354 @@
+"""Strong-scaling studies on the stage API.
+
+The paper evaluates representative regions at a fixed team width per
+table; :class:`ScalingStudy` turns the thread count into a first-class
+study axis and asks the follow-up question — *does the representative
+region stay representative as the team scales?* — by sweeping one
+workload across thread counts × machines through the very same
+registered stage graph every other study composes (profile → signature
+→ cluster → select → measure → reconstruct → validate).
+
+Per (machine, threads) cell the study reports:
+
+* **wall cycles** — the slowest thread's mean clean-ROI cycle count,
+  which under barrier synchronisation is the region's wall-clock;
+* **speedup / parallel efficiency** — wall(1) / wall(t), and that
+  divided by t (computed by :class:`ScalingResult` from the cells);
+* **barrier-region CPI error** — the relative error of the CPI derived
+  from the best barrier point set's reconstruction against the full
+  run's CPI at that thread count: the scaling-robustness figure of
+  merit.
+
+Team widths above a machine's hardware contexts are reported as
+unsupported (:meth:`ScalingStudy.unsupported`) rather than scheduled —
+oversubscription is outside the paper's scatter-first pinning protocol
+(see :meth:`repro.hw.machines.Machine.validate_threads`).
+
+The grid form of this study (every evaluated app, scheduled cells,
+rendered tables) lives in :mod:`repro.experiments.scaling`; this module
+is the single-workload public API and the computation both share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.builder import PipelineRun, StagePipeline, _resolve_target, _resolve_workload
+from repro.api.types import PipelineConfig
+from repro.exec.stagestore import StageStore
+from repro.hw.machines import APM_XGENE, ARMV8_IN_ORDER, INTEL_I7_3770, Machine
+from repro.hw.pmu import CYCLES, INSTRUCTIONS
+
+__all__ = [
+    "SCALING_THREAD_COUNTS",
+    "SCALING_MACHINES",
+    "ScalingCell",
+    "ScalingResult",
+    "ScalingStudy",
+    "run_scaling_cell",
+    "unsupported_reason",
+]
+
+#: The strong-scaling sweep's team widths.  16 exceeds every Table II
+#: machine's hardware contexts and renders as an unsupported row — the
+#: sweep states its own applicability limit instead of hiding it.
+SCALING_THREAD_COUNTS = (1, 2, 4, 8, 16)
+
+#: Default machine axis: both Table II platforms plus the Section VIII
+#: in-order core, all taken from the open machine registry.
+SCALING_MACHINES = (INTEL_I7_3770.name, APM_XGENE.name, ARMV8_IN_ORDER.name)
+
+
+def unsupported_reason(machine: Machine) -> str:
+    """Why a width beyond the machine's contexts is not scheduled.
+
+    The single source of the reason string every consumer renders and
+    tests match against (the API's ``ScalingResult.unsupported`` and
+    the ``repro scaling`` table rows).
+    """
+    return f"exceeds {machine.max_threads} hardware contexts"
+
+
+@dataclass(frozen=True)
+class ScalingCell:
+    """One (application, machine, threads) point of a scaling study.
+
+    Attributes
+    ----------
+    app / machine / threads:
+        The cell's coordinates.
+    k / total_barrier_points:
+        Barrier points selected by the best (lowest primary error) set
+        at this width, and the total dynamic barrier points.
+    wall_mcycles:
+        Slowest thread's mean clean-ROI cycles, in millions — the
+        region's wall-clock under barrier synchronisation.
+    instructions:
+        Mean clean-ROI instructions summed over threads.
+    cpi_true / cpi_estimate:
+        Aggregate cycles-per-instruction of the full run and of the
+        barrier-point reconstruction.
+    cpi_error_pct:
+        ``100 × |cpi_estimate - cpi_true| / cpi_true`` — how well the
+        representative region tracks the full run at this width.
+    failure:
+        Non-empty when the methodology could not be applied on this
+        machine (barrier-sequence mismatch); every numeric field is
+        zero in that case.
+    """
+
+    app: str
+    machine: str
+    threads: int
+    k: int
+    total_barrier_points: int
+    wall_mcycles: float
+    instructions: float
+    cpi_true: float
+    cpi_estimate: float
+    cpi_error_pct: float
+    failure: str = ""
+
+    def to_payload(self) -> dict:
+        """JSON-shaped payload for the scheduler / process boundary."""
+        return {
+            "app": self.app,
+            "machine": self.machine,
+            "threads": int(self.threads),
+            "k": int(self.k),
+            "total_barrier_points": int(self.total_barrier_points),
+            "wall_mcycles": float(self.wall_mcycles),
+            "instructions": float(self.instructions),
+            "cpi_true": float(self.cpi_true),
+            "cpi_estimate": float(self.cpi_estimate),
+            "cpi_error_pct": float(self.cpi_error_pct),
+            "failure": self.failure,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ScalingCell":
+        """Rebuild a cell from :meth:`to_payload` output."""
+        return cls(**payload)
+
+    @classmethod
+    def failed(
+        cls, app: str, machine: str, threads: int, reason: str
+    ) -> "ScalingCell":
+        """An all-zeros cell recording why the methodology failed here."""
+        return cls(
+            app=app,
+            machine=machine,
+            threads=threads,
+            k=0,
+            total_barrier_points=0,
+            wall_mcycles=0.0,
+            instructions=0.0,
+            cpi_true=0.0,
+            cpi_estimate=0.0,
+            cpi_error_pct=0.0,
+            failure=reason,
+        )
+
+
+def _cell_from_run(run: PipelineRun, app_name: str, machine: Machine, threads: int) -> ScalingCell:
+    """Derive one machine's scaling cell from an executed stage graph."""
+    evaluations = run.evaluations.get(machine.name)
+    if evaluations is None:
+        return ScalingCell.failed(
+            app_name, machine.name, threads, run.failures[machine.name]
+        )
+
+    best = min(
+        range(len(evaluations)),
+        key=lambda i: evaluations[i].report.primary_error,
+    )
+    selection = evaluations[best].selection
+    context = run.context
+    reference = context.require("measurements")[machine.name]["reference"]
+    estimate = context.require("estimates")[machine.name][best]["totals"]
+
+    wall_cycles = float(reference[:, CYCLES].max())
+    ref_cycles = float(reference[:, CYCLES].sum())
+    ref_instr = float(reference[:, INSTRUCTIONS].sum())
+    est_cycles = float(estimate[:, CYCLES].sum())
+    est_instr = float(estimate[:, INSTRUCTIONS].sum())
+    cpi_true = ref_cycles / ref_instr
+    cpi_estimate = est_cycles / est_instr
+    return ScalingCell(
+        app=app_name,
+        machine=machine.name,
+        threads=threads,
+        k=selection.k,
+        total_barrier_points=selection.n_barrier_points,
+        wall_mcycles=wall_cycles / 1e6,
+        instructions=ref_instr,
+        cpi_true=cpi_true,
+        cpi_estimate=cpi_estimate,
+        cpi_error_pct=100.0 * abs(cpi_estimate - cpi_true) / cpi_true,
+    )
+
+
+def run_scaling_cell(
+    workload,
+    machine,
+    threads: int,
+    config: PipelineConfig | None = None,
+    store: StageStore | None = None,
+) -> ScalingCell:
+    """Execute one scaling cell through the registered stage graph.
+
+    Discovery runs on x86_64 (the paper's Section V-A rule) at the
+    cell's thread count; measurement, reconstruction and validation
+    target the cell's machine.  With a :class:`StageStore`, the
+    x86_64-side stage payloads are shared by every machine at the same
+    (app, threads) — and with the crossarch cells' scalar half — so a
+    grid sweep executes each discovery exactly once.
+    """
+    app = _resolve_workload(workload)
+    machine = _resolve_target(machine)
+    config = config or PipelineConfig()
+    pipeline = StagePipeline(app, threads, False, config, targets=(machine,))
+    return _cell_from_run(pipeline.run(store), app.name, machine, threads)
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """All cells of one application's scaling study.
+
+    Attributes
+    ----------
+    app:
+        The workload.
+    machines / thread_counts:
+        The axes, in sweep order.
+    cells:
+        ``(machine name, threads)`` → :class:`ScalingCell` for every
+        supported grid point.
+    unsupported:
+        ``(machine name, threads)`` → reason, for widths beyond a
+        machine's hardware contexts.
+    """
+
+    app: str
+    machines: tuple[str, ...]
+    thread_counts: tuple[int, ...]
+    cells: dict
+    unsupported: dict
+
+    def cell(self, machine: str, threads: int) -> ScalingCell:
+        """One grid point (raises ``KeyError`` for unsupported widths)."""
+        return self.cells[(machine, threads)]
+
+    def speedup(self, machine: str, threads: int) -> float | None:
+        """wall(1) / wall(threads) on one machine; None without a base."""
+        base = self.cells.get((machine, 1))
+        cell = self.cells.get((machine, threads))
+        if base is None or cell is None or cell.failure or base.failure:
+            return None
+        if cell.wall_mcycles == 0.0:
+            return None
+        return base.wall_mcycles / cell.wall_mcycles
+
+    def efficiency_pct(self, machine: str, threads: int) -> float | None:
+        """Parallel efficiency: speedup over threads, in percent."""
+        speedup = self.speedup(machine, threads)
+        if speedup is None:
+            return None
+        return 100.0 * speedup / threads
+
+
+class ScalingStudy:
+    """Sweep one workload's thread counts × machines through the stages.
+
+    The public, in-process form of the strong-scaling study::
+
+        from repro.api import ScalingStudy
+
+        result = ScalingStudy("miniFE", thread_counts=(1, 2, 4, 8)).run()
+        result.efficiency_pct("ARMv8 AppliedMicro X-Gene", 8)
+
+    Every cell composes the same registered stage graph as
+    ``build_pipeline`` — third-party stages swapped into the stage
+    registry, and machines added to the machine registry, flow through
+    unchanged.  The multi-application scheduled grid behind ``repro
+    scaling`` lives in :mod:`repro.experiments.scaling` and executes
+    the same :func:`run_scaling_cell`.
+
+    Parameters
+    ----------
+    workload:
+        Registry name, workload class, or instance.
+    machines:
+        Machine axis: registered names, ISAs, or Machine instances.
+    thread_counts:
+        Team widths to sweep; widths a machine cannot host scatter-first
+        are reported under :attr:`ScalingResult.unsupported`.
+    config:
+        Shared stage configuration (protocol scale, seed, ...).
+    """
+
+    def __init__(
+        self,
+        workload,
+        machines=SCALING_MACHINES,
+        thread_counts: tuple[int, ...] = SCALING_THREAD_COUNTS,
+        config: PipelineConfig | None = None,
+    ) -> None:
+        self.app = _resolve_workload(workload)
+        self.machines: tuple[Machine, ...] = tuple(
+            _resolve_target(machine) for machine in machines
+        )
+        self.thread_counts = tuple(thread_counts)
+        self.config = config or PipelineConfig()
+
+    def grid(self) -> list[tuple[Machine, int]]:
+        """The supported (machine, threads) cells, in sweep order."""
+        return [
+            (machine, threads)
+            for machine in self.machines
+            for threads in self.thread_counts
+            if machine.supports_threads(threads)
+        ]
+
+    def unsupported(self) -> dict[tuple[str, int], str]:
+        """(machine name, threads) → reason, for unplaceable widths."""
+        return {
+            (machine.name, threads): unsupported_reason(machine)
+            for machine in self.machines
+            for threads in self.thread_counts
+            if not machine.supports_threads(threads)
+        }
+
+    def run(self, store: StageStore | None = None) -> ScalingResult:
+        """Execute every supported cell (stage-cached when given a store).
+
+        One stage graph runs per thread count, targeting every machine
+        that can host the width — the x86_64 discovery executes once
+        per width and only measurement/validation fan out across the
+        machine axis, with or without a store.  Use ``repro scaling``
+        for the scheduled multi-application grid.
+        """
+        cells: dict[tuple[str, int], ScalingCell] = {}
+        for threads in self.thread_counts:
+            machines = tuple(
+                machine
+                for machine in self.machines
+                if machine.supports_threads(threads)
+            )
+            if not machines:
+                continue
+            pipeline = StagePipeline(
+                self.app, threads, False, self.config, targets=machines
+            )
+            run = pipeline.run(store)
+            for machine in machines:
+                cells[(machine.name, threads)] = _cell_from_run(
+                    run, self.app.name, machine, threads
+                )
+        return ScalingResult(
+            app=self.app.name,
+            machines=tuple(machine.name for machine in self.machines),
+            thread_counts=self.thread_counts,
+            cells=cells,
+            unsupported=self.unsupported(),
+        )

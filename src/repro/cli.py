@@ -12,6 +12,7 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro limitations     # Section V-B applicability
     repro coalesce        # future work: barrier-point coalescing
     repro coretypes       # future work: in-order vs out-of-order
+    repro scaling         # strong-scaling grid: threads x machines
     repro all             # every artefact from one scheduled pass
     repro workloads       # registered workload plugins ('list' is an alias)
     repro machines        # registered machine plugins
@@ -35,7 +36,7 @@ import sys
 from repro.exec.backends import BACKEND_NAMES
 from repro.exec.scheduler import StudyScheduler
 from repro.experiments import coalesce, coretypes, figure1, figure2, limitations
-from repro.experiments import table1, table2, table3, table4, variability
+from repro.experiments import scaling, table1, table2, table3, table4, variability
 from repro.experiments.config import SCALES, default_config
 
 __all__ = ["main"]
@@ -52,6 +53,7 @@ _EXPERIMENTS = {
     "limitations": limitations,
     "coalesce": coalesce,
     "coretypes": coretypes,
+    "scaling": scaling,
 }
 
 
@@ -99,9 +101,10 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="K",
-        help="cap the SimPoint cluster sweep (default 20); thanks to "
-        "stage-granular caching, changing this re-runs clustering onward "
-        "while profile/signature payloads come from cache",
+        help="cap the SimPoint cluster sweep (default 20, minimum 2); "
+        "thanks to stage-granular caching, changing this re-runs "
+        "clustering onward while profile/signature payloads come from "
+        "cache",
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk study cache"
@@ -168,6 +171,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
 
+    if args.max_k is not None and args.max_k < 2:
+        # SimPoint caps its k grid at max(n_points // 2, 1), so maxK = 1
+        # silently degenerates to a single-cluster sweep: every barrier
+        # point lands in one cluster and the "selection" is one
+        # representative with a multiplier covering the whole region —
+        # technically valid output, practically a confusing non-result.
+        # Reject it up front instead.
+        print(
+            f"error: --max-k must be >= 2, got {args.max_k} (a one-cluster "
+            "sweep selects a single representative for the whole region, "
+            "which defeats the methodology)",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.experiment in ("list", "workloads", "machines", "stages"):
         _print_registry(args.experiment)
         return 0
@@ -201,20 +219,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.verbose:
         from repro.exec.stagestore import stage_store_for
 
+        # Worker-process counter deltas are merged back into this
+        # process's store by the scheduler, so the stage-cache summary
+        # is accurate on every backend, processes included.
         print(f"[scheduler] {scheduler.stats.describe()}", file=sys.stderr)
-        if scheduler.backend.name == "processes" and scheduler.backend.jobs > 1:
-            # Cells ran in worker processes; this process's counters
-            # would misleadingly read as zero traffic.
-            print(
-                "[stage-cache] counters live in worker processes "
-                "(processes backend); rerun with --backend serial to see them",
-                file=sys.stderr,
-            )
-        else:
-            print(
-                f"[stage-cache] {stage_store_for(config).stats.describe()}",
-                file=sys.stderr,
-            )
+        print(
+            f"[stage-cache] {stage_store_for(config).stats.describe()}",
+            file=sys.stderr,
+        )
     return 0
 
 

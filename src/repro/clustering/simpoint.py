@@ -28,7 +28,12 @@ class SimPointOptions:
     Attributes
     ----------
     max_k:
-        Largest cluster count examined (BarrierPoint: 20).
+        Largest cluster count examined (BarrierPoint: 20).  A value of
+        1 is accepted programmatically (ablations sweep it) but
+        degenerates: the sweep examines only the one-cluster model and
+        "selects" a single representative whose multiplier covers the
+        whole region.  The CLI therefore rejects ``--max-k 1`` up
+        front with an explicit error.
     projected_dims:
         Random-projection target dimensionality.
     bic_threshold:
@@ -62,7 +67,10 @@ class SimPointOptions:
 
         Capped at half the signature count: clustering ten barrier
         points into ten "clusters" is degenerate, and SimPoint practice
-        keeps maxK well below the interval count.
+        keeps maxK well below the interval count.  Note the cap floors
+        at 1 — with ``max_k=1`` the grid is just ``[1]`` and the BIC
+        threshold has nothing to discriminate (see the ``max_k``
+        attribute note).
         """
         upper = min(self.max_k, max(n_points // 2, 1))
         grid = list(range(1, min(self.k_dense, upper) + 1))

@@ -20,11 +20,18 @@ from repro.instrumentation.collector import DiscoveryObservation
 __all__ = ["SignatureMatrix", "build_signatures"]
 
 
-def _row_normalise(matrix: np.ndarray) -> np.ndarray:
-    """L1-normalise rows; all-zero rows stay zero."""
+def _normalise_scaled_into(matrix: np.ndarray, scale: float, out: np.ndarray) -> None:
+    """Write ``row_normalise(matrix) * scale`` into ``out`` (no copies).
+
+    Rows are L1-normalised (all-zero rows stay zero); the division and
+    the balance scaling land directly in the caller's slice of the
+    combined signature buffer, so assembling a signature matrix costs
+    one allocation instead of four.
+    """
     totals = matrix.sum(axis=1, keepdims=True)
     safe = np.where(totals > 0, totals, 1.0)
-    return matrix / safe
+    np.divide(matrix, safe, out=out)
+    np.multiply(out, scale, out=out)
 
 
 @dataclass(frozen=True)
@@ -67,9 +74,11 @@ def build_signatures(
     """
     if not 0.0 <= bbv_weight <= 1.0:
         raise ValueError(f"bbv_weight must be in [0, 1], got {bbv_weight}")
-    bbv = _row_normalise(observation.bbv) * bbv_weight
-    ldv = _row_normalise(observation.ldv) * (1.0 - bbv_weight)
-    combined = np.concatenate([bbv, ldv], axis=1)
+    n_bp, bbv_dims = observation.bbv.shape
+    ldv_dims = observation.ldv.shape[1]
+    combined = np.empty((n_bp, bbv_dims + ldv_dims), dtype=float)
+    _normalise_scaled_into(observation.bbv, bbv_weight, combined[:, :bbv_dims])
+    _normalise_scaled_into(observation.ldv, 1.0 - bbv_weight, combined[:, bbv_dims:])
     return SignatureMatrix(
         combined=combined,
         weights=observation.weights,

@@ -14,6 +14,15 @@ order-preserving ``map``:
   full CPU scaling.  Work items and results must be picklable, which
   the scheduler guarantees by shipping (request, config) pairs and
   JSON-shaped payloads.
+
+Backends transport whatever the mapped function returns; the scheduler
+exploits that to carry side-band data across the process boundary —
+each result is a ``(payload, pid, stage_stats_delta)`` triple, so a
+worker's stage-cache hit/miss counters reach the parent even when the
+worker-local :func:`~repro.exec.stagestore.stage_store_for` memo does
+not.  Note a pool with ``jobs == 1`` (or a single item) runs inline in
+the calling process — the pid in the result is how the scheduler tells
+foreign deltas from already-counted local ones, not the backend name.
 """
 
 from __future__ import annotations

@@ -20,7 +20,7 @@ from typing import Callable
 
 from repro.exec.request import StudyRequest
 
-__all__ = ["CELL_KINDS", "resolve_executor", "execute_request"]
+__all__ = ["CELL_KINDS", "CELL_LEVEL_UNCACHED", "resolve_executor", "execute_request"]
 
 #: kind → "module:function" executor address.
 CELL_KINDS: dict[str, str] = {
@@ -30,7 +30,17 @@ CELL_KINDS: dict[str, str] = {
     "limitations": "repro.experiments.limitations:limitation_cell",
     "coalesce": "repro.experiments.coalesce:coalesce_cell",
     "coretypes": "repro.experiments.coretypes:coretype_cell",
+    "scaling": "repro.experiments.scaling:scaling_cell",
 }
+
+#: Cell kinds excluded from the cell-level StudyStore.  Scaling cells
+#: are thin derivations over stage-cached artifacts: the expensive
+#: stages (profile → measure) are already content-addressed in the
+#: StageStore and *shared* across the grid (three machines per
+#: (app, threads), plus the crossarch cells' scalar half), so caching
+#: the derived payload a second time would only duplicate bytes and
+#: hide the stage-cache traffic the verbose report accounts for.
+CELL_LEVEL_UNCACHED: frozenset[str] = frozenset({"scaling"})
 
 _RESOLVED: dict[str, Callable] = {}
 

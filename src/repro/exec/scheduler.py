@@ -20,12 +20,14 @@ backends, worker counts and execution order.  The determinism test suite
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Iterable
 
 from repro.exec.backends import ExecutionBackend, create_backend
-from repro.exec.cells import execute_request
+from repro.exec.cells import CELL_LEVEL_UNCACHED, execute_request
 from repro.exec.request import StudyRequest
+from repro.exec.stagestore import stage_store_for
 from repro.exec.store import StudyStore
 
 __all__ = ["SchedulerStats", "StudyScheduler"]
@@ -63,9 +65,21 @@ class SchedulerStats:
 
 
 def _execute_item(item: tuple[StudyRequest, object]):
-    """Picklable worker entry point: one (request, config) pair."""
+    """Picklable worker entry point: one (request, config) pair.
+
+    Returns ``(payload, pid, stage_stats_delta)``: the stage-cache
+    counter increments this cell produced travel back alongside the
+    payload, because under the ``processes`` backend they land in a
+    worker-local :func:`stage_store_for` memo the parent can't see.
+    The pid lets the scheduler recognise (and skip re-merging) deltas
+    produced in its own process — serial/thread backends, and a process
+    pool that inlined the work, already incremented the shared store.
+    """
     request, config = item
-    return execute_request(request, config)
+    stats = stage_store_for(config).stats
+    before = stats.snapshot()
+    payload = execute_request(request, config)
+    return payload, os.getpid(), stats.delta_since(before)
 
 
 class StudyScheduler:
@@ -110,7 +124,11 @@ class StudyScheduler:
             if request in self._memory:
                 self.stats.memo_hits += 1
                 continue
-            payload = self.store.load(request)
+            payload = (
+                None
+                if request.kind in CELL_LEVEL_UNCACHED
+                else self.store.load(request)
+            )
             if payload is not None:
                 self._memory[request] = payload
                 self.stats.cache_hits += 1
@@ -119,10 +137,18 @@ class StudyScheduler:
 
         if missing:
             items = [(request, self.config) for request in missing]
-            payloads = self.backend.map(_execute_item, items)
-            for request, payload in zip(missing, payloads):
+            results = self.backend.map(_execute_item, items)
+            parent_pid = os.getpid()
+            parent_stats = stage_store_for(self.config).stats
+            for request, (payload, pid, delta) in zip(missing, results):
+                if pid != parent_pid:
+                    # Cell ran in a worker process: fold its stage-cache
+                    # traffic into this process's counters so --verbose
+                    # sees it.  Same-pid cells already incremented them.
+                    parent_stats.merge(delta)
                 self._memory[request] = payload
-                self.store.store(request, payload)
+                if request.kind not in CELL_LEVEL_UNCACHED:
+                    self.store.store(request, payload)
             self.stats.executed += len(missing)
 
         return {request: self._memory[request] for request in unique}

@@ -13,6 +13,12 @@ the stage-invalidation tests assert cache behaviour through them, and
 ``--verbose`` prints them after a run.  :func:`stage_store_for` memoises
 one store per cache directory within a process so those counters are
 observable wherever cells execute in-process (serial/thread backends).
+Under the ``processes`` backend the counters increment in *worker*
+processes; the scheduler ships each cell's counter delta
+(:meth:`StageCacheStats.snapshot` → :meth:`StageCacheStats.delta_since`)
+back with the cell payload and merges it into the parent's store
+(:meth:`StageCacheStats.merge`), so ``--verbose`` reports the same
+traffic regardless of backend.
 """
 
 from __future__ import annotations
@@ -72,6 +78,40 @@ class StageCacheStats:
         """Zero every counter (tests isolate phases with this)."""
         self.hits.clear()
         self.misses.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-shaped copy of the current counters."""
+        return {"hits": dict(self.hits), "misses": dict(self.misses)}
+
+    def delta_since(self, snapshot: dict) -> dict:
+        """Counter increments since a :meth:`snapshot` (JSON-shaped).
+
+        A worker process wraps one cell execution in snapshot/delta so
+        only that cell's traffic travels back over the pickle boundary,
+        no matter how many cells the worker has already served.
+        """
+        # Under the threads backend several workers share these
+        # counters; take an atomic C-level copy (dict(...)) before
+        # iterating so a concurrent insert can't resize the dict under
+        # the Python-level loop.
+        current = self.snapshot()
+        return {
+            "hits": {
+                stage: count - snapshot["hits"].get(stage, 0)
+                for stage, count in current["hits"].items()
+                if count != snapshot["hits"].get(stage, 0)
+            },
+            "misses": {
+                stage: count - snapshot["misses"].get(stage, 0)
+                for stage, count in current["misses"].items()
+                if count != snapshot["misses"].get(stage, 0)
+            },
+        }
+
+    def merge(self, delta: dict) -> None:
+        """Fold one worker's counter delta into these counters."""
+        self.hits.update(delta.get("hits", {}))
+        self.misses.update(delta.get("misses", {}))
 
     def describe(self) -> str:
         """One-line summary for verbose CLI output."""

@@ -1,0 +1,203 @@
+"""Strong scaling — does the representative region scale with the team?
+
+The paper's tables fix the team width (Table IV reports 8 threads);
+this artefact sweeps it.  One ``"scaling"`` study cell is declared per
+(application, machine, threads) over every evaluated app, the three
+registered scaling machines and the widths 1, 2, 4, 8, 16, so the
+scheduler deduplicates and parallelises the whole grid at once.  Cells
+at a width the machine cannot host scatter-first (16 on every Table II
+machine) are rendered as explicit unsupported rows instead of being
+scheduled.
+
+Per application the table reports, per (machine, threads): the region's
+wall cycles, the strong-scaling speedup and parallel efficiency against
+the 1-thread run on the same machine, the barrier points selected, and
+the barrier-region CPI estimate against the full run's CPI — the
+scaling-robustness figure of merit (a representative region that stops
+being representative shows up as a growing CPI error, not as a missing
+row).
+
+Scaling cells are derivations over stage-cached artifacts and are
+deliberately *not* persisted in the cell-level StudyStore
+(:data:`repro.exec.cells.CELL_LEVEL_UNCACHED`): the heavy stages are
+shared through the :class:`~repro.exec.stagestore.StageStore` — across
+the three machines of one (app, threads), and with the crossarch cells'
+scalar half — so a re-render re-executes only cheap reconstruction
+against stage-cache hits, which ``--verbose`` accounts for even under
+the ``processes`` backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.registry import machine_registry
+from repro.api.scaling import (
+    SCALING_MACHINES,
+    SCALING_THREAD_COUNTS,
+    ScalingCell,
+    ScalingResult,
+    unsupported_reason,
+)
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.util.tables import render_table
+from repro.workloads.registry import EVALUATED_APPS
+
+__all__ = [
+    "ScalingTable",
+    "scaling_request",
+    "scaling_cell",
+    "requests",
+    "build",
+    "run",
+]
+
+_HEADERS = (
+    "Machine",
+    "Threads",
+    "Wall Mcyc",
+    "Speedup",
+    "Eff (%)",
+    "BPs",
+    "CPI est/true",
+    "CPI err (%)",
+    "Note",
+)
+
+
+def scaling_request(app: str, threads: int, machine: str) -> StudyRequest:
+    """Declare the scaling cell for one (app, machine, threads)."""
+    return StudyRequest(
+        kind="scaling", app=app, threads=threads, params=(("machine", machine),)
+    )
+
+
+def scaling_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
+    """Executor for ``"scaling"`` cells (runs in scheduler workers)."""
+    from repro.api.scaling import run_scaling_cell
+    from repro.exec.stagestore import stage_store_for
+
+    cell = run_scaling_cell(
+        request.app,
+        request.param("machine"),
+        request.threads,
+        config.pipeline_config(),
+        store=stage_store_for(config),
+    )
+    return cell.to_payload()
+
+
+def _supported(machine_name: str, threads: int) -> bool:
+    return machine_registry.get(machine_name).supports_threads(threads)
+
+
+def requests(config: ExperimentConfig) -> list[StudyRequest]:
+    """Every supported cell of the apps × machines × threads grid."""
+    return [
+        scaling_request(app, threads, machine)
+        for app in EVALUATED_APPS
+        for machine in SCALING_MACHINES
+        for threads in SCALING_THREAD_COUNTS
+        if _supported(machine, threads)
+    ]
+
+
+@dataclass(frozen=True)
+class ScalingTable:
+    """The strong-scaling artefact: one :class:`ScalingResult` per app."""
+
+    results: list[ScalingResult]
+
+    def result(self, app: str) -> ScalingResult:
+        """The scaling result of one application."""
+        for result in self.results:
+            if result.app == app:
+                return result
+        raise KeyError(f"no scaling result for {app!r}")
+
+    def render(self) -> str:
+        """One ASCII table per application, in evaluation order."""
+        blocks = []
+        for result in self.results:
+            rows = []
+            for machine in result.machines:
+                for threads in result.thread_counts:
+                    rows.append(self._row(result, machine, threads))
+            blocks.append(
+                render_table(
+                    _HEADERS,
+                    rows,
+                    title=(
+                        f"Strong scaling — {result.app} "
+                        "(scalar binaries, x86_64 discovery)"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+    @staticmethod
+    def _row(result: ScalingResult, machine: str, threads: int) -> tuple:
+        reason = result.unsupported.get((machine, threads))
+        if reason is not None:
+            return (machine, threads, None, None, None, None, None, None, reason)
+        cell = result.cells.get((machine, threads))
+        if cell is None:
+            return (
+                machine, threads, None, None, None, None, None, None,
+                "not computed",
+            )
+        if cell.failure:
+            return (machine, threads, None, None, None, None, None, None, cell.failure)
+        speedup = result.speedup(machine, threads)
+        efficiency = result.efficiency_pct(machine, threads)
+        return (
+            machine,
+            threads,
+            f"{cell.wall_mcycles:.2f}",
+            f"{speedup:.2f}x" if speedup is not None else None,
+            f"{efficiency:.1f}" if efficiency is not None else None,
+            f"{cell.k}/{cell.total_barrier_points}",
+            f"{cell.cpi_estimate:.3f} / {cell.cpi_true:.3f}",
+            f"{cell.cpi_error_pct:.2f}",
+            "",
+        )
+
+
+def build(results, config: ExperimentConfig) -> ScalingTable:
+    """Assemble the scaling tables from executed study cells."""
+    cells: dict[str, dict[tuple[str, int], ScalingCell]] = {}
+    for request, payload in results.items():
+        if request.kind != "scaling":
+            continue
+        cell = ScalingCell.from_payload(payload)
+        cells.setdefault(cell.app, {})[(cell.machine, cell.threads)] = cell
+
+    unsupported = {
+        (machine, threads): unsupported_reason(machine_registry.get(machine))
+        for machine in SCALING_MACHINES
+        for threads in SCALING_THREAD_COUNTS
+        if not _supported(machine, threads)
+    }
+    table_results = [
+        ScalingResult(
+            app=app,
+            machines=SCALING_MACHINES,
+            thread_counts=SCALING_THREAD_COUNTS,
+            cells=cells.get(app, {}),
+            unsupported=dict(unsupported),
+        )
+        for app in EVALUATED_APPS
+    ]
+    return ScalingTable(results=table_results)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    scheduler: StudyScheduler | None = None,
+) -> ScalingTable:
+    """Build the strong-scaling tables from the scheduled grid."""
+    config = config or default_config()
+    scheduler = scheduler or StudyScheduler(config)
+    return build(scheduler.run(requests(config)), config)

@@ -10,12 +10,22 @@ ARMv8   AppliedMicro X-Gene @ 2.4 GHz (4 clusters × 2 cores)
 
 Thread placement follows the paper's pinning (Section V-A Step 3) with a
 scatter-first policy: one thread per physical core/cluster while
-possible.  Consequences the sharing model captures:
+possible.  :meth:`Machine.placement` spells the policy out per thread
+for every supported team width, not just the paper's powers of two:
 
-* Intel, 8 threads: SMT pairs co-run — L1D and L2 are halved per thread
-  and per-thread CPI inflates (port sharing).
-* X-Gene, 8 threads: core pairs within a cluster share the cluster's
-  256 KiB L2; L1D stays private at every thread count.
+* Intel, ≤4 threads: every thread owns its core, caches private.
+* Intel, 5–8 threads: ``threads - 4`` cores host SMT pairs — those
+  threads see halved L1D/L2 capacity and SMT-inflated CPI, while the
+  remaining threads keep private caches (non-uniform sharing; at
+  8 threads every core is paired and sharing is uniform again).
+* X-Gene, ≤4 threads: one thread per cluster, all caches private.
+* X-Gene, 5–8 threads: ``threads - 4`` clusters host core pairs sharing
+  the cluster's 256 KiB L2; L1D stays private at every thread count.
+
+Counts above the hardware contexts (>8 on both machines) are rejected
+with an explicit error — oversubscription is outside the paper's
+protocol — so the strong-scaling sweep marks such cells unsupported
+instead of silently clamping them.
 
 CPI and penalty figures are order-of-magnitude realistic for Ivy Bridge
 and the first-generation X-Gene; absolute fidelity is not required (see
@@ -27,14 +37,61 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hw.caches import CacheLevelSpec
 from repro.hw.pmu import PmuNoiseSpec
 from repro.ir.memory import PatternKind
 from repro.isa.descriptors import ISA
 
-__all__ = ["Machine", "INTEL_I7_3770", "APM_XGENE", "ARMV8_IN_ORDER", "machine_for"]
+__all__ = [
+    "Machine",
+    "ThreadPlacement",
+    "INTEL_I7_3770",
+    "APM_XGENE",
+    "ARMV8_IN_ORDER",
+    "machine_for",
+]
 
 _K = PatternKind
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Scatter-first pinning of one team (Section V-A Step 3), per thread.
+
+    Attributes
+    ----------
+    core / cluster:
+        ``(threads,)`` physical core and cluster index of each thread.
+    l1_sharers / l2_sharers:
+        ``(threads,)`` how many team threads share that thread's L1D /
+        L2.  Non-uniform for team widths that only partially fill a
+        sharing domain (5..7 threads on the i7's SMT pairs, 5..7 on the
+        X-Gene's clusters): the threads that landed on a shared domain
+        see the sharer count, the rest keep their caches private.
+    smt_corun:
+        ``(threads,)`` whether an SMT sibling co-runs on that thread's
+        core (drives the per-thread CPI inflation).
+    """
+
+    core: np.ndarray
+    cluster: np.ndarray
+    l1_sharers: np.ndarray
+    l2_sharers: np.ndarray
+    smt_corun: np.ndarray
+
+    @property
+    def threads(self) -> int:
+        """Team width placed."""
+        return int(self.core.size)
+
+    def uniform(self) -> bool:
+        """Whether every thread sees identical sharing (1, 2, 4, 8...)."""
+        return (
+            np.all(self.l1_sharers == self.l1_sharers[0])
+            and np.all(self.l2_sharers == self.l2_sharers[0])
+        )
 
 
 @dataclass(frozen=True)
@@ -101,23 +158,77 @@ class Machine:
         return self.cores * self.smt_per_core
 
     def validate_threads(self, threads: int) -> None:
-        """Raise if a team is wider than the machine can host."""
+        """Raise if a team is wider than the machine's hardware contexts.
+
+        Scatter-first pinning needs one hardware context per thread;
+        oversubscription is outside the paper's protocol, so counts
+        above ``max_threads`` are rejected explicitly rather than
+        silently clamped (the scaling sweep renders such cells as
+        unsupported instead of scheduling them).
+        """
         if threads < 1 or threads > self.max_threads:
             raise ValueError(
-                f"{self.name} hosts 1..{self.max_threads} threads, got {threads}"
+                f"{self.name} exposes {self.max_threads} hardware contexts "
+                f"({self.cores} cores x {self.smt_per_core} SMT); a team of "
+                f"{threads} cannot be pinned scatter-first — use 1.."
+                f"{self.max_threads} threads"
             )
 
-    def l1_sharers(self, threads: int) -> int:
-        """Threads sharing one L1D under scatter-first pinning."""
+    def placement(self, threads: int) -> ThreadPlacement:
+        """Scatter-first placement of a team, thread by thread.
+
+        Threads fill one hardware context per core before doubling up on
+        SMT siblings, round-robining over clusters so cluster-shared L2s
+        are filled last — the paper's pinning.  Valid (and correct) for
+        *every* ``1..max_threads`` count, including the odd and
+        partially-filled widths (3, 5, 6, 7) where sharing is
+        non-uniform across the team.
+        """
         self.validate_threads(threads)
-        return 1 if threads <= self.cores else self.smt_per_core
+        # Hardware contexts in scatter order: context 0 of one core per
+        # cluster, then the remaining cores, then the SMT siblings.
+        # Core c lives in cluster c % clusters; iterating cluster-major
+        # per rank (and filtering ranks past a cluster's last core)
+        # covers every core even when clusters don't divide the core
+        # count evenly — a registered third-party machine may be ragged.
+        ranks = -(-self.cores // self.clusters)  # ceil
+        order = [
+            core
+            for _ in range(self.smt_per_core)
+            for rank in range(ranks)
+            for cluster in range(self.clusters)
+            if (core := cluster + self.clusters * rank) < self.cores
+        ]
+        core = np.array(order[:threads], dtype=np.int64)
+        cluster = core % self.clusters
+        core_counts = np.bincount(core, minlength=self.cores)
+        cluster_counts = np.bincount(cluster, minlength=self.clusters)
+        l1_sharers = core_counts[core]
+        l2_sharers = cluster_counts[cluster] if self.l2_shared_by_cluster else l1_sharers
+        return ThreadPlacement(
+            core=core,
+            cluster=cluster,
+            l1_sharers=l1_sharers,
+            l2_sharers=l2_sharers,
+            smt_corun=(l1_sharers > 1),
+        )
+
+    def l1_sharers(self, threads: int) -> int:
+        """Most threads sharing one L1D under scatter-first pinning.
+
+        Scalar worst case over the team; the per-thread truth (sharing
+        is non-uniform at partially-filled widths) is
+        ``placement(threads).l1_sharers``.
+        """
+        return int(self.placement(threads).l1_sharers.max())
 
     def l2_sharers(self, threads: int) -> int:
-        """Threads sharing one L2 under scatter-first pinning."""
-        self.validate_threads(threads)
-        if self.l2_shared_by_cluster:
-            return 1 if threads <= self.clusters else min(threads, 2)
-        return self.l1_sharers(threads)
+        """Most threads sharing one L2 under scatter-first pinning.
+
+        Scalar worst case over the team; see :meth:`placement` for the
+        per-thread values.
+        """
+        return int(self.placement(threads).l2_sharers.max())
 
     def l3_sharers(self, threads: int) -> int:
         """Threads sharing the L3 (all of them; it is chip-wide)."""
@@ -125,9 +236,13 @@ class Machine:
         return threads
 
     def smt_active(self, threads: int) -> bool:
-        """Whether SMT pairs co-run at this team width."""
+        """Whether any SMT pair co-runs at this team width."""
         self.validate_threads(threads)
         return self.smt_per_core > 1 and threads > self.cores
+
+    def supports_threads(self, threads: int) -> bool:
+        """Whether a team of this width fits the hardware contexts."""
+        return 1 <= threads <= self.max_threads
 
     def memory_penalty(self, threads: int) -> float:
         """L3-miss penalty including bandwidth contention."""

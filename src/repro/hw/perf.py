@@ -39,7 +39,7 @@ from repro.hw.pmu import CYCLES, INSTRUCTIONS, L1D_MISSES, L2D_MISSES, N_METRICS
 from repro.ir.trace import ExecutionTrace
 from repro.isa.descriptors import ISA
 from repro.isa.lowering import LoweredCounts, lower_mix
-from repro.mem.hierarchy import miss_fraction
+from repro.mem.hierarchy import miss_fraction_levels
 from repro.runtime.barriers import barrier_spin
 from repro.util.rng import RngTree, stable_hash
 
@@ -145,10 +145,31 @@ class PerfModel:
         threads = trace.threads
         machine.validate_threads(threads)
 
-        cap_l1 = machine.l1d.effective_capacity(machine.l1_sharers(threads))
-        cap_l2 = machine.l2.effective_capacity(machine.l2_sharers(threads))
+        # Scatter-first placement, per thread: sharing (and hence the
+        # per-thread effective capacity and SMT inflation) is uniform at
+        # the paper's 1/2/4/8 widths but non-uniform at partially-filled
+        # widths (5..7 on the i7, 5..7 on the X-Gene clusters).  Threads
+        # with identical sharing are grouped so each distinct capacity
+        # pair evaluates the miss model exactly once.
+        placement = machine.placement(threads)
         cap_l3 = machine.l3.effective_capacity(machine.l3_sharers(threads))
-        smt_factor = machine.smt_cpi_penalty if machine.smt_active(threads) else 1.0
+        sharing_groups: list[tuple[float, float, np.ndarray]] = []
+        for s1, s2 in dict.fromkeys(
+            zip(placement.l1_sharers.tolist(), placement.l2_sharers.tolist())
+        ):
+            cols = np.flatnonzero(
+                (placement.l1_sharers == s1) & (placement.l2_sharers == s2)
+            )
+            sharing_groups.append(
+                (
+                    machine.l1d.effective_capacity(s1),
+                    machine.l2.effective_capacity(s2),
+                    cols,
+                )
+            )
+        smt_factors = np.where(
+            placement.smt_corun, machine.smt_cpi_penalty, 1.0
+        )  # (threads,)
         mem_penalty = machine.memory_penalty(threads)
         isa = machine.isa
 
@@ -185,7 +206,7 @@ class PerfModel:
                 busy += iters * (
                     _compute_cycles_per_iter(lowered, machine.cpi)
                     * f_cpi
-                    * smt_factor
+                    * smt_factors
                 )
 
                 accesses = iters * block.mix.memory_accesses
@@ -197,52 +218,53 @@ class PerfModel:
                     * ttrace.footprint_scale
                 )
                 hot_eff = pattern.hot_fraction * ttrace.hot_scale
+                mult_base = np.exp(machine.uarch_sigma_misses * z_l1)
+                mult_base_l2 = np.exp(machine.uarch_sigma_misses * z_l2)
 
-                fr1 = miss_fraction(
-                    pattern.kind, fp_lines, pattern.hot_lines, hot_eff, cap_l1
-                )
-                fr2 = miss_fraction(
-                    pattern.kind, fp_lines, pattern.hot_lines, hot_eff, cap_l2
-                )
-                fr3 = miss_fraction(
-                    pattern.kind, fp_lines, pattern.hot_lines, hot_eff, cap_l3
-                )
-                fr1 = fr1 * (1.0 - machine.l1d.prefetch_effectiveness[pattern.kind])
-                fr1 = fr1 + machine.l1d.pollution_rate[pattern.kind]
-                fr2 = fr2 * (1.0 - machine.l2.prefetch_effectiveness[pattern.kind])
-                fr2 = fr2 + machine.l2.pollution_rate[pattern.kind]
-                fr3 = fr3 * (1.0 - machine.l3.prefetch_effectiveness[pattern.kind])
+                for cap_l1, cap_l2, cols in sharing_groups:
+                    fr1, fr2, fr3 = miss_fraction_levels(
+                        pattern.kind,
+                        fp_lines,
+                        pattern.hot_lines,
+                        hot_eff,
+                        (cap_l1, cap_l2, cap_l3),
+                    )
+                    fr1 = fr1 * (1.0 - machine.l1d.prefetch_effectiveness[pattern.kind])
+                    fr1 = fr1 + machine.l1d.pollution_rate[pattern.kind]
+                    fr2 = fr2 * (1.0 - machine.l2.prefetch_effectiveness[pattern.kind])
+                    fr2 = fr2 + machine.l2.pollution_rate[pattern.kind]
+                    fr3 = fr3 * (1.0 - machine.l3.prefetch_effectiveness[pattern.kind])
 
-                # ISA-specific instance jitter; on a capacity cliff a
-                # bimodal conflict-thrash term joins in.
-                cliff1 = _cliff_weight(fp_lines, cap_l1)
-                cliff2 = _cliff_weight(fp_lines, cap_l2)
-                mult1 = np.exp(machine.uarch_sigma_misses * z_l1) * (
-                    1.0 + machine.cliff_boost * cliff1 * thrash_l1
-                )
-                mult2 = np.exp(machine.uarch_sigma_misses * z_l2) * (
-                    1.0 + machine.cliff_boost * cliff2 * thrash_l2
-                )
-                fr1 = np.clip(fr1 * mult1, 0.0, 1.0)
-                fr2 = np.clip(fr2 * mult2, 0.0, 1.0)
-                fr3 = np.clip(fr3, 0.0, 1.0)
-                fr2 = np.minimum(fr2, fr1)
-                fr3 = np.minimum(fr3, fr2)
+                    # ISA-specific instance jitter; on a capacity cliff a
+                    # bimodal conflict-thrash term joins in.
+                    cliff1 = _cliff_weight(fp_lines, cap_l1)
+                    cliff2 = _cliff_weight(fp_lines, cap_l2)
+                    mult1 = mult_base * (
+                        1.0 + machine.cliff_boost * cliff1 * thrash_l1
+                    )
+                    mult2 = mult_base_l2 * (
+                        1.0 + machine.cliff_boost * cliff2 * thrash_l2
+                    )
+                    fr1 = np.clip(fr1 * mult1, 0.0, 1.0)
+                    fr2 = np.clip(fr2 * mult2, 0.0, 1.0)
+                    fr3 = np.clip(fr3, 0.0, 1.0)
+                    fr2 = np.minimum(fr2, fr1)
+                    fr3 = np.minimum(fr3, fr2)
 
-                b_m1 = accesses * (fr1 * f_miss)[:, None]
-                b_m2 = accesses * (fr2 * f_miss)[:, None]
-                b_m3 = accesses * (fr3 * f_miss)[:, None]
-                # The PMU may undercount refills (X-Gene L1D merges
-                # streaming refills); stalls below use the real misses.
-                m1 += b_m1 * machine.l1d.capture_rate(pattern.kind)
-                m2 += b_m2 * machine.l2.capture_rate(pattern.kind)
+                    b_m1 = accesses[:, cols] * (fr1 * f_miss)[:, None]
+                    b_m2 = accesses[:, cols] * (fr2 * f_miss)[:, None]
+                    b_m3 = accesses[:, cols] * (fr3 * f_miss)[:, None]
+                    # The PMU may undercount refills (X-Gene L1D merges
+                    # streaming refills); stalls below use the real misses.
+                    m1[:, cols] += b_m1 * machine.l1d.capture_rate(pattern.kind)
+                    m2[:, cols] += b_m2 * machine.l2.capture_rate(pattern.kind)
 
-                exposed = 1.0 - machine.stall_overlap[pattern.kind]
-                busy += exposed * (
-                    (b_m1 - b_m2) * machine.penalty_l2
-                    + (b_m2 - b_m3) * machine.penalty_l3
-                    + b_m3 * mem_penalty
-                )
+                    exposed = 1.0 - machine.stall_overlap[pattern.kind]
+                    busy[:, cols] += exposed * (
+                        (b_m1 - b_m2) * machine.penalty_l2
+                        + (b_m2 - b_m3) * machine.penalty_l3
+                        + b_m3 * mem_penalty
+                    )
 
             instr *= jit_instr[:, None]
             busy *= jit_cycles[:, None]

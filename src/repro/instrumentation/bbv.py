@@ -13,9 +13,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ir.trace import ExecutionTrace
-from repro.isa.lowering import lower_mix
+from repro.isa.lowering import lowered_totals
 
 __all__ = ["collect_bbv"]
+
+
+def _instr_per_iter(trace: ExecutionTrace) -> np.ndarray:
+    """Per-block lowered instruction totals, memoised per trace.
+
+    Ten discovery runs instrument the same execution; the lowering of
+    the block universe is identical every time, so it is computed once
+    (vectorised over all blocks) and cached on the trace.
+    """
+    memo: dict = trace._memo  # type: ignore[attr-defined]
+    if "instr_per_iter" not in memo:
+        mixes = [block.mix for _, block in trace.block_universe()]
+        memo["instr_per_iter"] = lowered_totals(mixes, trace.binary)
+    return memo["instr_per_iter"]
 
 
 def collect_bbv(trace: ExecutionTrace, per_thread: bool = True) -> np.ndarray:
@@ -36,12 +50,7 @@ def collect_bbv(trace: ExecutionTrace, per_thread: bool = True) -> np.ndarray:
         ``(n_bp, n_blocks)``; entries are dynamic instruction counts.
     """
     iters = trace.block_iters_per_thread()  # (n_bp, n_blocks, threads)
-    instr_per_iter = np.array(
-        [
-            lower_mix(block.mix, trace.binary).total
-            for _, block in trace.block_universe()
-        ]
-    )
+    instr_per_iter = _instr_per_iter(trace)
     bbv = iters * instr_per_iter[None, :, None]
     if per_thread:
         n_bp = bbv.shape[0]

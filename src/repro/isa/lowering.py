@@ -23,14 +23,16 @@ Modelling choices (justified in DESIGN.md §2):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from repro.isa.descriptors import BinaryConfig, ISA
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ir.mix import InstructionMix
 
-__all__ = ["LoweredCounts", "lower_mix", "ISA_CLASS_FACTORS"]
+__all__ = ["LoweredCounts", "lower_mix", "lowered_totals", "ISA_CLASS_FACTORS"]
 
 #: Per-ISA multipliers applied to abstract operation counts, per class.
 #: Values are deliberately close to 1.0 (Blem et al.).
@@ -134,3 +136,44 @@ def lower_mix(mix: "InstructionMix", binary: BinaryConfig) -> LoweredCounts:
         branches=branches,
         simd_overhead=simd_overhead,
     )
+
+
+def lowered_totals(mixes: Sequence["InstructionMix"], binary: BinaryConfig) -> np.ndarray:
+    """Total dynamic instructions per iteration for many mixes at once.
+
+    The batched form of ``lower_mix(mix, binary).total``: one numpy pass
+    over a whole block universe instead of one :class:`LoweredCounts`
+    object per block.  BBV collection calls this once per trace (the
+    BBV dimensions follow the block universe), so the per-block Python
+    loop disappears from the discovery hot path.  Element ``i`` is
+    bit-identical to the scalar path for ``mixes[i]``.
+    """
+    factors = ISA_CLASS_FACTORS[binary.isa]
+    flops = np.array([m.flops for m in mixes], dtype=float) * factors["flops"]
+    int_ops = np.array([m.int_ops for m in mixes], dtype=float) * factors["int_ops"]
+    mem = np.array([m.loads + m.stores for m in mixes], dtype=float) * factors["mem"]
+    branches = np.array([m.branches for m in mixes], dtype=float) * factors["branches"]
+    scalar_total = flops + int_ops + mem + branches
+
+    ext = binary.vector_extension
+    if ext is None:
+        return scalar_total
+
+    lanes = ext.f64_lanes
+    vec = np.array([m.vectorisable for m in mixes], dtype=float)
+    vector_flops = vec * flops / lanes
+    scalar_flops = (1.0 - vec) * flops
+    vector_mem = vec * mem / lanes
+    scalar_mem = (1.0 - vec) * mem
+    simd_overhead = ext.pack_overhead * (vector_flops + vector_mem)
+    control_shrink = 1.0 - _LOOP_CONTROL_SHARE * vec * (1.0 - 1.0 / lanes)
+    vec_total = (
+        scalar_flops
+        + vector_flops
+        + int_ops * control_shrink
+        + scalar_mem
+        + vector_mem
+        + branches * control_shrink
+        + simd_overhead
+    )
+    return np.where(vec == 0.0, scalar_total, vec_total)

@@ -5,6 +5,16 @@ true-LRU replacement, allocate-on-miss for both loads and stores.  Used
 to validate the analytic miss model and to power the
 ``exact_vs_analytical`` example; the paper-scale experiments use the
 analytic path instead.
+
+The batched entry points (:meth:`CacheSimulator.simulate`,
+:meth:`CacheSimulator.miss_mask`) run a numpy lockstep simulation: the
+stream is grouped by set, every set's recency stack is held as one row
+of a ``(sets_touched, associativity)`` matrix, and a single Python-level
+step advances *all* sets by one access.  The per-access Python loop
+(list scans, ``remove``/``append``) only survives as the scalar
+:meth:`CacheSimulator.access` API and as the fallback for degenerate
+streams that concentrate on a few sets, where lockstep rounds would
+be as long as the stream itself.
 """
 
 from __future__ import annotations
@@ -84,20 +94,84 @@ class CacheSimulator:
 
     def simulate(self, lines: np.ndarray) -> SimulatedMisses:
         """Run a whole stream; returns aggregate counts (cold start)."""
-        self.reset()
-        misses = 0
-        for line in np.asarray(lines, dtype=np.int64):
-            if not self.access(int(line)):
-                misses += 1
-        return SimulatedMisses(accesses=int(len(lines)), misses=misses)
+        mask = self.miss_mask(lines)
+        return SimulatedMisses(accesses=int(mask.size), misses=int(mask.sum()))
 
     def miss_mask(self, lines: np.ndarray) -> np.ndarray:
         """Per-access miss flags for a stream (cold start)."""
         self.reset()
         lines = np.asarray(lines, dtype=np.int64)
+        if lines.size == 0:
+            return np.zeros(0, dtype=bool)
+        set_idx = lines % self.n_sets
+        counts = np.bincount(set_idx, minlength=self.n_sets)
+        longest_run = int(counts.max())
+        # A lockstep round costs ~a dozen small numpy ops; it only wins
+        # when each round retires many sets.  Streams concentrated on a
+        # handful of sets (fully-associative caches, adversarial tests)
+        # fall back to the scalar walk.
+        if longest_run > max(64, lines.size // 4):
+            mask = np.zeros(lines.size, dtype=bool)
+            for i, line in enumerate(lines):
+                mask[i] = not self.access(int(line))
+            self.reset()
+            return mask
+        return self._miss_mask_lockstep(lines, set_idx, counts)
+
+    def _miss_mask_lockstep(
+        self, lines: np.ndarray, set_idx: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised miss flags: advance every touched set in lockstep.
+
+        Each touched set's accesses form one row of a padded tag
+        matrix; the LRU stacks of all rows live in a ``(rows, ways)``
+        matrix with MRU at column 0, and each lockstep step consumes
+        one access per row with pure array ops.  Exactly equivalent to
+        the scalar walk (true LRU, allocate-on-miss, cold start).
+        """
+        ways_n = self.associativity
+        tags = lines // self.n_sets
+        order = np.argsort(set_idx, kind="stable")
+        touched = np.flatnonzero(counts)
+        run_lengths = counts[touched]
+        starts = np.zeros(touched.size, dtype=np.int64)
+        np.cumsum(run_lengths[:-1], out=starts[1:])
+        rows = np.repeat(np.arange(touched.size), run_lengths)
+        cols = np.arange(lines.size) - starts[rows]
+
+        longest = int(run_lengths.max())
+        padded = np.zeros((touched.size, longest), dtype=np.int64)
+        padded[rows, cols] = tags[order]
+
+        stacks = np.zeros((touched.size, ways_n), dtype=np.int64)
+        occupied = np.zeros((touched.size, ways_n), dtype=bool)
+        miss_sorted = np.zeros(lines.size, dtype=bool)
+        way_range = np.arange(ways_n)
+        for step in range(longest):
+            active = run_lengths > step
+            current = padded[:, step]
+            match = occupied & (stacks == current[:, None])
+            hit = match.any(axis=1)
+            # Hit: rotate columns 0..w into 1..w and insert at MRU.
+            # Miss: shift everything right (the LRU way at the last
+            # column falls off — a no-op eviction while filling).
+            # Inactive rows keep their state untouched (w = -1).
+            w = np.where(hit, match.argmax(axis=1), ways_n - 1)
+            w = np.where(active, w, -1)
+            keep = way_range[None, :] > w[:, None]
+            shifted = np.empty_like(stacks)
+            shifted[:, 0] = current
+            shifted[:, 1:] = stacks[:, :-1]
+            shifted_occ = np.empty_like(occupied)
+            shifted_occ[:, 0] = True
+            shifted_occ[:, 1:] = occupied[:, :-1]
+            stacks = np.where(keep, stacks, shifted)
+            occupied = np.where(keep, occupied, shifted_occ)
+            idx = starts[active] + step
+            miss_sorted[idx] = ~hit[active]
+
         mask = np.zeros(lines.size, dtype=bool)
-        for i, line in enumerate(lines):
-            mask[i] = not self.access(int(line))
+        mask[order] = miss_sorted
         return mask
 
 

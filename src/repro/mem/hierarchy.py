@@ -24,6 +24,7 @@ __all__ = [
     "effective_capacity_lines",
     "miss_probability",
     "miss_fraction",
+    "miss_fraction_levels",
     "misses_from_ldv",
 ]
 
@@ -47,17 +48,21 @@ def effective_capacity_lines(size_bytes: float, associativity: int, line_bytes: 
     return lines * (1.0 - 0.5 / associativity)
 
 
-def miss_probability(distance_lines: np.ndarray, capacity_eff_lines: float) -> np.ndarray:
+def miss_probability(distance_lines: np.ndarray, capacity_eff_lines) -> np.ndarray:
     """Probability that an access at a given stack distance misses.
 
     Zero below half the effective capacity, one above twice it, and
     log-linear in between.  ``inf`` distances (cold accesses) miss.
+    ``capacity_eff_lines`` may be an array (it broadcasts against the
+    distances), which is how the multi-level evaluation computes every
+    cache level in one pass.
     """
-    if capacity_eff_lines <= 0:
+    caps = np.asarray(capacity_eff_lines, dtype=float)
+    if np.any(caps <= 0):
         raise ValueError(f"capacity must be positive, got {capacity_eff_lines}")
     d = np.asarray(distance_lines, dtype=float)
     with np.errstate(divide="ignore", invalid="ignore"):
-        x = (np.log2(np.maximum(d, 1e-9) / capacity_eff_lines) - _LOG_LO) / _LOG_SPAN
+        x = (np.log2(np.maximum(d, 1e-9) / caps) - _LOG_LO) / _LOG_SPAN
     p = np.clip(x, 0.0, 1.0)
     return np.where(np.isinf(d), 1.0, p)
 
@@ -89,13 +94,49 @@ def miss_fraction(
     numpy.ndarray
         Per-instance miss fractions in ``[0, 1]``.
     """
+    return miss_fraction_levels(
+        kind, footprint_lines, hot_lines, hot_fraction, (capacity_eff_lines,)
+    )[0]
+
+
+def miss_fraction_levels(
+    kind: PatternKind,
+    footprint_lines: np.ndarray,
+    hot_lines: float,
+    hot_fraction: np.ndarray,
+    capacities_eff_lines,
+) -> np.ndarray:
+    """Per-level miss fractions of one block's accesses, in one pass.
+
+    The whole-hierarchy form of :func:`miss_fraction`: the pattern's
+    reuse decomposition is walked once and each characteristic distance
+    is scored against *every* capacity by broadcasting, instead of
+    re-deriving the decomposition per level.  This is the hot kernel of
+    the performance model — a thread-count sweep evaluates it for every
+    (block, level, instance) triple — and the batched form cuts the
+    Python-level passes from ``levels × components`` to ``components``.
+
+    Parameters
+    ----------
+    capacities_eff_lines:
+        Effective capacities (in lines) of the levels to evaluate,
+        shape ``(n_levels,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_levels, n_instances)`` miss fractions in ``[0, 1]``; row
+        ``i`` is exactly ``miss_fraction(..., capacities[i])``.
+    """
+    caps = np.asarray(capacities_eff_lines, dtype=float)[:, None]
     hot_fraction = np.clip(np.asarray(hot_fraction, dtype=float), 0.0, 1.0)
-    hot_part = np.zeros_like(hot_fraction)
+    footprint_lines = np.asarray(footprint_lines, dtype=float)
+    hot_part = np.zeros((caps.shape[0],) + hot_fraction.shape)
     for weight, distance in hot_distances(hot_lines):
-        hot_part = hot_part + weight * miss_probability(distance, capacity_eff_lines)
-    cold_part = np.zeros_like(np.asarray(footprint_lines, dtype=float))
+        hot_part = hot_part + weight * miss_probability(distance, caps)
+    cold_part = np.zeros((caps.shape[0],) + footprint_lines.shape)
     for weight, distances in characteristic_distances(kind, footprint_lines):
-        cold_part = cold_part + weight * miss_probability(distances, capacity_eff_lines)
+        cold_part = cold_part + weight * miss_probability(distances, caps)
     return hot_fraction * hot_part + (1.0 - hot_fraction) * cold_part
 
 

@@ -128,3 +128,32 @@ class TestCreate:
             create("minifee")
         with pytest.raises(KeyError, match="miniFE"):
             create("no-such-app")
+
+
+class TestDidYouMeanBuiltins:
+    """Near-miss lookups against the real workload/machine registries."""
+
+    def test_workload_near_misses_suggest(self):
+        for typo, want in (
+            ("lulsh", "LULESH"),
+            ("grahp500", "graph500"),
+            ("HPCg8", "HPCG"),
+        ):
+            with pytest.raises(KeyError, match=f"did you mean '{want}'"):
+                workload_registry.get(typo)
+
+    def test_machine_near_misses_suggest(self):
+        from repro.api.registry import machine_registry
+
+        with pytest.raises(KeyError, match="did you mean 'Intel Core i7-3770'"):
+            machine_registry.get("Intel Core i7-3770K")
+        with pytest.raises(
+            KeyError, match="did you mean 'ARMv8 AppliedMicro X-Gene'"
+        ):
+            machine_registry.get("ARMv8 AppliedMicro XGene")
+
+    def test_machine_far_miss_lists_known(self):
+        from repro.api.registry import machine_registry
+
+        with pytest.raises(KeyError, match="known: .*X-Gene"):
+            machine_registry.get("Cray XC40")

@@ -43,6 +43,22 @@ class TestCli:
     def test_jobs_must_be_positive(self, capsys):
         assert main(["table2", "--jobs", "0"]) == 2
 
+    def test_max_k_below_two_rejected(self, capsys):
+        # maxK = 1 parses but degenerates to a one-cluster sweep (the
+        # SimPoint grid floors at max(n_points // 2, 1)); the CLI must
+        # reject it with an explanation instead of producing a
+        # confusing single-representative "result".
+        assert main(["table4", "--max-k", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "--max-k must be >= 2" in err
+        assert "single representative" in err
+        assert main(["table4", "--max-k", "0"]) == 2
+        assert main(["table4", "--max-k", "-3"]) == 2
+
+    def test_max_k_two_accepted(self, capsys):
+        # table2 never clusters, but the flag must pass validation.
+        assert main(["table2", "--max-k", "2", "--no-cache"]) == 0
+
     def test_quick_conflicts_with_full_scale(self):
         with pytest.raises(SystemExit, match="conflicts"):
             main(["table2", "--quick", "--scale", "full"])

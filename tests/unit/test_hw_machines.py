@@ -49,6 +49,80 @@ class TestMachineTopology:
         with pytest.raises(ValueError):
             APM_XGENE.l1_sharers(16)
 
+    def test_over_capacity_error_is_explicit(self):
+        # The scaling sweep renders these as unsupported rows; the error
+        # must say what the capacity is and why, not just "got 16".
+        with pytest.raises(ValueError, match="8 hardware contexts"):
+            INTEL_I7_3770.placement(16)
+        with pytest.raises(ValueError, match="scatter-first"):
+            APM_XGENE.validate_threads(16)
+        assert not INTEL_I7_3770.supports_threads(16)
+        assert INTEL_I7_3770.supports_threads(8)
+        assert not APM_XGENE.supports_threads(0)
+
+    def test_intel_placement_uniform_widths(self):
+        for threads, l1 in ((1, 1), (2, 1), (4, 1), (8, 2)):
+            placement = INTEL_I7_3770.placement(threads)
+            assert placement.uniform()
+            assert set(placement.l1_sharers.tolist()) == {l1}
+            assert set(placement.l2_sharers.tolist()) == {l1}
+
+    def test_intel_placement_partial_smt_fill(self):
+        # 6 threads scatter-first on 4 cores x 2 SMT: cores 0 and 1
+        # host pairs, cores 2 and 3 stay private — sharing must be
+        # per-thread, not a blanket factor 2.
+        placement = INTEL_I7_3770.placement(6)
+        assert not placement.uniform()
+        assert placement.core.tolist() == [0, 1, 2, 3, 0, 1]
+        assert placement.l1_sharers.tolist() == [2, 2, 1, 1, 2, 2]
+        assert placement.smt_corun.tolist() == [True, True, False, False, True, True]
+        # The scalar API reports the worst case over the team.
+        assert INTEL_I7_3770.l1_sharers(6) == 2
+        assert INTEL_I7_3770.l1_sharers(3) == 1
+
+    def test_xgene_placement_scatters_clusters_first(self):
+        # 3 threads land on three different clusters: all caches private.
+        placement = APM_XGENE.placement(3)
+        assert placement.cluster.tolist() == [0, 1, 2]
+        assert set(placement.l2_sharers.tolist()) == {1}
+        # 6 threads: clusters 0 and 1 host pairs sharing the cluster L2.
+        placement = APM_XGENE.placement(6)
+        assert placement.cluster.tolist() == [0, 1, 2, 3, 0, 1]
+        assert placement.l2_sharers.tolist() == [2, 2, 1, 1, 2, 2]
+        assert set(placement.l1_sharers.tolist()) == {1}  # L1 always private
+        assert not placement.smt_corun.any()
+
+    def test_placement_covers_ragged_cluster_geometry(self):
+        # A third-party registered machine need not divide its cores
+        # evenly across clusters; placement must still cover every core
+        # (not silently truncate the team to the rectangular part).
+        from dataclasses import replace
+
+        ragged = replace(APM_XGENE, name="ragged-6c", cores=6)
+        assert ragged.max_threads == 6
+        for threads in range(1, 7):
+            assert ragged.placement(threads).threads == threads
+        placement = ragged.placement(6)
+        assert sorted(placement.core.tolist()) == [0, 1, 2, 3, 4, 5]
+        # Clusters 0 and 1 hold two cores each; 2 and 3 hold one.
+        assert placement.l2_sharers.tolist() == [2, 2, 1, 1, 2, 2]
+
+    def test_placement_every_supported_width(self):
+        # Sharer maps must be consistent for every width the sweep can
+        # ask for: counts per core/cluster sum back to the team size.
+        for machine in (INTEL_I7_3770, APM_XGENE):
+            for threads in range(1, machine.max_threads + 1):
+                placement = machine.placement(threads)
+                assert placement.threads == threads
+                assert (placement.l1_sharers >= 1).all()
+                assert (placement.l2_sharers >= placement.l1_sharers).all() or (
+                    not machine.l2_shared_by_cluster
+                )
+                # Each thread's sharer count equals its domain's census.
+                for i in range(threads):
+                    same_core = (placement.core == placement.core[i]).sum()
+                    assert placement.l1_sharers[i] == same_core
+
     def test_memory_penalty_grows_with_threads(self):
         m = INTEL_I7_3770
         assert m.memory_penalty(8) > m.memory_penalty(1)

@@ -53,6 +53,44 @@ class TestPerfModel:
         )
         assert 0.3 < cpi < 50
 
+    def test_partial_smt_width_runs_and_splits_sharing(
+        self, toy_program, rng_tree
+    ):
+        # 6 threads on the i7: cores 0/1 host SMT pairs, cores 2/3 run
+        # solo.  The model must apply the SMT CPI inflation and the
+        # halved L1/L2 capacity only to the paired threads.
+        trace = execute_program(
+            toy_program, BinaryConfig(ISA.X86_64, False), 6,
+            rng_tree.child("structure"),
+        )
+        counters = PerfModel(rng_tree.child("uarch")).true_counters(
+            trace, INTEL_I7_3770
+        )
+        assert counters.values.shape[1] == 6
+        assert np.all(counters.values[:, :, CYCLES] > 0)
+        placement = INTEL_I7_3770.placement(6)
+        paired = placement.smt_corun
+        # Busy time (cycles minus barrier spin) is equalised by the
+        # barrier, but misses aren't: paired threads see half the L1D.
+        l1 = counters.values[:, :, L1D_MISSES].sum(axis=0)
+        assert l1[paired].mean() > l1[~paired].mean()
+
+    def test_odd_width_on_xgene_clusters(self, toy_program, rng_tree):
+        # 6 threads on the X-Gene: clusters 0/1 host core pairs sharing
+        # the cluster L2; L1D stays private, so L1 misses stay balanced
+        # while L2 misses skew towards the paired threads.
+        trace = execute_program(
+            toy_program, BinaryConfig(ISA.ARMV8, False), 6,
+            rng_tree.child("structure"),
+        )
+        counters = PerfModel(rng_tree.child("uarch")).true_counters(
+            trace, APM_XGENE
+        )
+        placement = APM_XGENE.placement(6)
+        shared = placement.l2_sharers > 1
+        l2 = counters.values[:, :, L2D_MISSES].sum(axis=0)
+        assert l2[shared].mean() > l2[~shared].mean()
+
     def test_deterministic(self, x86_trace, rng_tree):
         a = PerfModel(rng_tree.child("uarch")).true_counters(x86_trace, INTEL_I7_3770)
         b = PerfModel(rng_tree.child("uarch")).true_counters(x86_trace, INTEL_I7_3770)

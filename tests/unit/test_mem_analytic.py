@@ -147,6 +147,34 @@ class TestMissFraction:
         )
         assert np.all(frac >= 0) and np.all(frac <= 1)
 
+    def test_levels_rows_bitwise_match_per_level_calls(self):
+        # The batched multi-level kernel feeds the performance model;
+        # each row must equal the scalar-capacity evaluation exactly
+        # (same float ops, not just approximately).
+        from repro.mem.hierarchy import miss_fraction_levels
+
+        fps = np.logspace(1, 7, 40)
+        hot = np.linspace(0.0, 1.0, 40)
+        capacities = (480.0, 3840.0, 122880.0)
+        for kind in PatternKind:
+            rows = miss_fraction_levels(kind, fps, 16.0, hot, capacities)
+            assert rows.shape == (3, 40)
+            for level, capacity in enumerate(capacities):
+                single = miss_fraction(kind, fps, 16.0, hot, capacity)
+                assert np.array_equal(rows[level], single), (kind, capacity)
+
+    def test_levels_monotone_down_the_hierarchy(self):
+        from repro.mem.hierarchy import miss_fraction_levels
+
+        fps = np.logspace(2, 6, 25)
+        rows = miss_fraction_levels(
+            PatternKind.RANDOM, fps, 8.0, np.full(25, 0.3),
+            (480.0, 3840.0, 122880.0),
+        )
+        # Larger capacity can only lower the raw miss fraction.
+        assert np.all(rows[1] <= rows[0] + 1e-12)
+        assert np.all(rows[2] <= rows[1] + 1e-12)
+
 
 class TestMissesFromLdv:
     def test_counts_weighted_by_probability(self):

@@ -104,6 +104,40 @@ class TestCacheSimulator:
         with pytest.raises(ValueError):
             CacheSimulator(100, 3)  # not divisible into sets
 
+    def test_lockstep_matches_scalar_walk(self):
+        # The vectorised lockstep path must be access-for-access
+        # equivalent to the reference per-access walk.
+        gen = np.random.default_rng(11)
+        for size, assoc, spread, n in (
+            (2048, 4, 100, 3000),     # many sets, lockstep path
+            (2048, 4, 5000, 3000),    # mostly cold
+            (4096, 1, 300, 2000),     # direct-mapped
+            (64 * 16, 16, 64, 500),   # fully associative -> fallback
+        ):
+            lines = gen.integers(0, spread, size=n)
+            vec = CacheSimulator(size, assoc).miss_mask(lines)
+            reference = CacheSimulator(size, assoc)
+            reference.reset()
+            scalar = np.array(
+                [not reference.access(int(line)) for line in lines]
+            )
+            assert np.array_equal(vec, scalar), (size, assoc, spread)
+
+    def test_skewed_stream_falls_back_to_scalar_walk(self):
+        # All accesses in one set: the lockstep rounds would be as long
+        # as the stream, so the simulator takes the scalar path — the
+        # answer must be identical either way.
+        cache = CacheSimulator(64 * 64, 2)  # 32 sets
+        lines = np.tile(np.array([0, 32, 64]), 500)  # one set, 3 tags
+        mask = cache.miss_mask(lines)
+        # 2-way LRU over 3 cyclically-reused tags thrashes forever.
+        assert mask.all()
+
+    def test_empty_stream(self):
+        cache = CacheSimulator(2048, 4)
+        assert cache.miss_mask(np.array([], dtype=np.int64)).size == 0
+        assert cache.simulate([]).accesses == 0
+
 
 class TestHierarchySimulator:
     def test_l2_misses_subset_of_l1(self):
