@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Relative-link checker for the documentation and README.
+
+Walks every Markdown file under ``docs/`` plus ``README.md``, extracts
+Markdown link targets, and verifies that every **relative** target
+resolves to an existing file (anchors are stripped; external
+``http(s)``/``mailto`` links are skipped so the check runs offline).
+Exits non-zero listing every broken link — CI runs it in the docs job,
+and ``tests/unit/test_docs_site.py`` runs it in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DOCS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = DOCS_DIR.parent
+
+#: Inline Markdown links: [text](target) — images included.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference-style definitions: [label]: target
+_REF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _targets(text: str) -> list[str]:
+    return _LINK.findall(text) + _REF.findall(text)
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken relative link targets of one Markdown file."""
+    broken = []
+    for target in _targets(path.read_text(encoding="utf-8")):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(f"{path.relative_to(REPO_ROOT)}: {target}")
+    return broken
+
+
+def main() -> int:
+    files = sorted(DOCS_DIR.rglob("*.md")) + [REPO_ROOT / "README.md"]
+    broken: list[str] = []
+    for path in files:
+        broken.extend(check_file(path))
+    if broken:
+        print("broken relative links:", file=sys.stderr)
+        for entry in broken:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

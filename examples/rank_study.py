@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Distributed ranks: does the region survive the network?
+
+Sweeps miniFE over MPI-style rank counts on the modelled i7-3770
+cluster (one rank per node, 2 OpenMP threads each) through the
+rank-aware stage graph — per-rank Pintool runs, rank-major signature
+coalescing, collective-aware measurement — and prints the scaling,
+communication share and reconstruction error per job size.
+
+Usage::
+
+    PYTHONPATH=src python examples/rank_study.py
+"""
+
+import os
+
+from repro.api import RankStudy, PipelineConfig
+from repro.hw.measure import MeasurementProtocol
+
+MACHINE = "Intel Core i7-3770"
+
+#: Smoke-friendly protocol: REPRO_SCALE=quick (the examples test and
+#: CI) shrinks discovery/repetitions further than the default.
+QUICK = os.environ.get("REPRO_SCALE", "").lower() == "quick"
+CONFIG = PipelineConfig(
+    discovery_runs=2 if QUICK else 5,
+    protocol=MeasurementProtocol(repetitions=3 if QUICK else 10),
+)
+
+
+def main() -> None:
+    study = RankStudy(
+        "miniFE", machines=(MACHINE,), rank_counts=(1, 2, 4, 8), config=CONFIG
+    )
+    result = study.run()
+
+    print(f"miniFE on {MACHINE!r} — {result.threads} threads per rank\n")
+    header = (
+        f"{'ranks':>5} {'wall Mcyc':>12} {'comm %':>7} {'speedup':>8} "
+        f"{'eff %':>6} {'BPs':>9} {'CPI err %':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for ranks in result.rank_counts:
+        cell = result.cell(MACHINE, ranks)
+        speedup = result.speedup(MACHINE, ranks)
+        efficiency = result.efficiency_pct(MACHINE, ranks)
+        print(
+            f"{ranks:>5} {cell.wall_mcycles:>12.2f} {cell.comm_pct:>7.2f} "
+            f"{speedup:>7.2f}x {efficiency:>6.1f} "
+            f"{cell.k:>4}/{cell.total_barrier_points:<4} "
+            f"{cell.cpi_error_pct:>10.2f}"
+        )
+
+    print(
+        "\nCollectives act as global barriers, so every rank selects the "
+        "same region boundaries;\na growing comm share with stable CPI "
+        "error means the job is communication-bound,\nnot that the "
+        "representative region stopped being representative."
+    )
+
+
+if __name__ == "__main__":
+    main()

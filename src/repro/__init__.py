@@ -61,7 +61,7 @@ from repro.workloads.registry import (
     create,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def create_workload(name: str) -> ProxyApp:

@@ -19,7 +19,14 @@ Workloads, machines and stages live in open registries
 :data:`stage_registry`) with decorator registration
 (``@register_workload`` etc.) and case-insensitive, did-you-mean name
 lookup, so new applications, platforms and clustering variants plug in
-without touching core files.  The legacy ``BarrierPointPipeline`` /
+without touching core files.
+
+Axis sweeps build on the same graph: :class:`ScalingStudy` asks
+whether a representative region survives team growth, and
+:class:`RankStudy` whether it survives distribution over MPI-style
+ranks (per-rank discovery through the registered ``rankify`` /
+``coalesce_ranks`` stages, communication priced by each machine's
+network model).  The legacy ``BarrierPointPipeline`` /
 ``CrossArchStudy`` / ``create_workload`` entry points remain as
 deprecation-shimmed facades over this package.
 """
@@ -39,6 +46,21 @@ from repro.api.registry import (
     register_workload,
     stage_registry,
     workload_registry,
+)
+from repro.api.rank_stages import (
+    CoalesceRanksStage,
+    RankifyStage,
+    coalesce_signatures,
+)
+from repro.api.ranks import (
+    RANK_COUNTS,
+    RANK_MACHINES,
+    RANK_THREADS,
+    RankCell,
+    RankResult,
+    RankStudy,
+    default_rank_stages,
+    run_rank_cell,
 )
 from repro.api.scaling import (
     SCALING_MACHINES,
@@ -101,6 +123,17 @@ __all__ = [
     "ScalingResult",
     "ScalingStudy",
     "run_scaling_cell",
+    "RANK_COUNTS",
+    "RANK_MACHINES",
+    "RANK_THREADS",
+    "RankCell",
+    "RankResult",
+    "RankStudy",
+    "RankifyStage",
+    "CoalesceRanksStage",
+    "coalesce_signatures",
+    "default_rank_stages",
+    "run_rank_cell",
     "EvaluationResult",
     "PipelineConfig",
     "SupportsProgram",

@@ -63,7 +63,25 @@ def _resolve_target(target) -> Machine:
 
 
 class PipelineRun:
-    """The artifacts of one executed stage graph."""
+    """The artifacts of one executed stage graph.
+
+    Wraps the run's :class:`~repro.api.context.StageContext` with typed
+    accessors for the common artifacts; anything a custom stage
+    published is reachable through ``run.context.get(name)``.
+
+    Example
+    -------
+    >>> from repro.api import build_pipeline, PipelineConfig
+    >>> from repro.hw.measure import MeasurementProtocol
+    >>> fast = PipelineConfig(
+    ...     discovery_runs=1, protocol=MeasurementProtocol(repetitions=2)
+    ... )
+    >>> run = build_pipeline("XSBench", threads=2, config=fast).run()
+    >>> len(run.selections)
+    1
+    >>> sorted(run.evaluations)
+    ['Intel Core i7-3770']
+    """
 
     def __init__(self, context: StageContext, stages: tuple[Stage, ...]) -> None:
         self.context = context
@@ -96,6 +114,18 @@ class StagePipeline:
     stages, ``evaluate`` validates one selection on one platform — the
     calls experiment drivers make) and whole-graph execution (``run``,
     optionally stage-cached).
+
+    Example
+    -------
+    >>> from repro.api import build_pipeline, PipelineConfig
+    >>> from repro.hw.measure import MeasurementProtocol
+    >>> fast = PipelineConfig(
+    ...     discovery_runs=1, protocol=MeasurementProtocol(repetitions=2)
+    ... )
+    >>> pipeline = build_pipeline("XSBench", threads=2, config=fast).build()
+    >>> selections = pipeline.discover()   # x86_64-side stages only
+    >>> selections[0].k
+    1
     """
 
     def __init__(
@@ -255,6 +285,13 @@ class PipelineBuilder:
     Every ``with_*``/``on`` call returns the builder, so a pipeline
     reads as one expression; ``build`` materialises the pipeline and
     ``run`` additionally executes it.
+
+    Example
+    -------
+    >>> from repro.api import PipelineBuilder
+    >>> builder = PipelineBuilder("MCB", threads=4).on("x86_64")
+    >>> builder.without_stage("validate").build().threads
+    4
     """
 
     def __init__(
@@ -332,6 +369,18 @@ def build_pipeline(
     ``workload`` may be a registry name (case-insensitive), a workload
     class, or a ready instance.  With all-default stages the resulting
     pipeline is bit-identical to the legacy ``BarrierPointPipeline``.
+
+    Example
+    -------
+    >>> from repro.api import ClusterStage, build_pipeline
+    >>> pipeline = (
+    ...     build_pipeline("miniFE", threads=8)
+    ...     .with_stage(ClusterStage(max_k=10))
+    ...     .on("ARMv8")
+    ...     .build()
+    ... )
+    >>> [stage.name for stage in pipeline.stages][:3]
+    ['profile', 'signature', 'cluster']
     """
     return PipelineBuilder(
         workload, threads, vectorised=vectorised, config=config

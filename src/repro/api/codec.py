@@ -19,7 +19,16 @@ __all__ = ["encode_array", "decode_array"]
 
 
 def encode_array(array: np.ndarray) -> dict:
-    """Encode one array as ``{dtype, shape, data}`` with base64 payload."""
+    """Encode one array as ``{dtype, shape, data}`` with base64 payload.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.api.codec import decode_array, encode_array
+    >>> original = np.linspace(0.0, 1.0, 7)
+    >>> bool(np.array_equal(decode_array(encode_array(original)), original))
+    True
+    """
     array = np.ascontiguousarray(array)
     if array.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts only
         array = array.astype(array.dtype.newbyteorder("<"))

@@ -42,6 +42,23 @@ __all__ = ["StageContext"]
 class StageContext:
     """Shared state of one pipeline execution.
 
+    Stages communicate exclusively through the context: each one reads
+    the artifacts named in its ``inputs`` (:meth:`require`) and
+    publishes its ``outputs`` (:meth:`put`), while the lazily-built
+    traces, counters and measurement memos are shared by every stage of
+    the run.
+
+    Example
+    -------
+    >>> from repro.api import StageContext
+    >>> from repro.workloads.registry import create
+    >>> ctx = StageContext(create("MCB"), threads=2)
+    >>> ctx.put("note", 42)
+    >>> ctx.require("note")
+    42
+    >>> ctx.get("missing", "default")
+    'default'
+
     Parameters
     ----------
     app / threads / vectorised / config:
@@ -110,15 +127,32 @@ class StageContext:
         barrier-point sequence, exactly as native runs of the same
         problem would — except where the application itself iterates
         differently per architecture (HPGMG-FV).
+
+        A workload carrying the ``distributed`` marker (see
+        :class:`~repro.workloads.distributed.DistributedWorkload`)
+        executes once per rank and is coalesced into a rank-major
+        :class:`~repro.runtime.distributed.DistributedTrace`; the
+        workload's distinct name keeps its randomness paths and cache
+        digests apart from the shared-memory pipelines.
         """
         if isa not in self._traces:
             program = self.app.program(self.threads, isa)
-            self._traces[isa] = execute_program(
-                program,
-                self.binary(isa),
-                self.threads,
-                self.tree.child("structure", self.app.name, self.threads),
-            )
+            rng = self.tree.child("structure", self.app.name, self.threads)
+            if getattr(self.app, "distributed", False):
+                from repro.runtime.distributed import execute_distributed
+
+                self._traces[isa] = execute_distributed(
+                    program,
+                    self.binary(isa),
+                    self.app.ranks,
+                    self.threads,
+                    rng,
+                    comm=self.app.comm_schedule(self.threads, isa),
+                )
+            else:
+                self._traces[isa] = execute_program(
+                    program, self.binary(isa), self.threads, rng
+                )
         return self._traces[isa]
 
     def counters_on(self, isa: ISA, machine: Machine | None = None) -> TrueCounters:

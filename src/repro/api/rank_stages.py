@@ -1,0 +1,278 @@
+"""Rank-aware pipeline stages: per-rank discovery, cross-rank coalescing.
+
+Distributed jobs replace the first two canonical stages with a pair
+that operates *per rank* and then coalesces:
+
+=============== ===================== ==================================
+stage           artifacts             role
+=============== ===================== ==================================
+rankify         rank_observations     per-rank instrumented executions
+                                      (BBV/LDV collection per rank)
+coalesce_ranks  signatures            rank-major signature coalescing
+=============== ===================== ==================================
+
+``coalesce_ranks`` publishes the very same ``signatures`` artifact the
+shared-memory ``signature`` stage does, so clustering, selection,
+measurement, reconstruction and validation run **unchanged** downstream
+— the rank axis is invisible past the coalescing point, exactly as the
+paper's per-thread concatenation makes the thread axis invisible past
+signature assembly.
+
+Coalesced signature layout (documented, deterministic)
+------------------------------------------------------
+
+For R ranks whose per-rank signatures have ``d_bbv`` BBV and ``d_ldv``
+LDV columns, the coalesced row of one barrier point is::
+
+    [ bbv(rank 0) | bbv(rank 1) | ... | bbv(rank R-1) |
+      ldv(rank 0) | ldv(rank 1) | ... | ldv(rank R-1) ]
+
+i.e. **rank-major within each half**: all BBV halves first, then all
+LDV halves, each ordered by rank.  Each per-rank half is row-normalised
+before concatenation (every rank contributes equal signature mass, so a
+work-imbalanced rank changes the *shape* of the row, not its norm), and
+the clustering weights are the per-rank instruction counts summed over
+ranks.  The per-rank interleaving jitter is seeded per
+``(discovery run, rank)`` from the configuration's randomness tree, so
+the layout is bit-reproducible from the seed alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.codec import decode_array, encode_array
+from repro.api.context import StageContext
+from repro.api.registry import register_stage
+from repro.api.stage import Stage
+from repro.core.signatures import SignatureMatrix, build_signatures
+from repro.hw.pmu import INSTRUCTIONS
+from repro.instrumentation.bbv import collect_bbv
+from repro.instrumentation.ldv import collect_ldv
+from repro.instrumentation.collector import DiscoveryObservation
+from repro.runtime.interleave import signature_jitter_sigma
+
+__all__ = ["RankifyStage", "CoalesceRanksStage", "coalesce_signatures"]
+
+
+def coalesce_signatures(per_rank: list[SignatureMatrix]) -> SignatureMatrix:
+    """Coalesce per-rank signature matrices rank-major (see module doc).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.signatures import SignatureMatrix
+    >>> one = SignatureMatrix(
+    ...     combined=np.ones((3, 4)), weights=np.ones(3),
+    ...     bbv_dims=3, ldv_dims=1,
+    ... )
+    >>> merged = coalesce_signatures([one, one])
+    >>> merged.combined.shape, merged.bbv_dims, merged.ldv_dims
+    ((3, 8), 6, 2)
+    """
+    if not per_rank:
+        raise ValueError("at least one rank signature required")
+    n_bp = per_rank[0].n_barrier_points
+    for rank, sig in enumerate(per_rank):
+        if sig.n_barrier_points != n_bp:
+            raise ValueError(
+                f"rank {rank} observed {sig.n_barrier_points} barrier points, "
+                f"rank 0 observed {n_bp} — region boundaries misaligned"
+            )
+    bbv_half = np.concatenate(
+        [sig.combined[:, : sig.bbv_dims] for sig in per_rank], axis=1
+    )
+    ldv_half = np.concatenate(
+        [sig.combined[:, sig.bbv_dims :] for sig in per_rank], axis=1
+    )
+    weights = np.sum([sig.weights for sig in per_rank], axis=0)
+    return SignatureMatrix(
+        combined=np.concatenate([bbv_half, ldv_half], axis=1),
+        weights=weights,
+        bbv_dims=int(sum(sig.bbv_dims for sig in per_rank)),
+        ldv_dims=int(sum(sig.ldv_dims for sig in per_rank)),
+    )
+
+
+@register_stage
+class RankifyStage(Stage):
+    """Step 1 (distributed): instrument each rank's execution.
+
+    Per discovery run and per rank: collect the rank's BBV/LDV from its
+    own trace, weight by the rank's exact instruction counts, and
+    perturb with interleaving jitter seeded per ``(run, rank)`` — R
+    Pintool invocations per run, one per MPI process.
+
+    Requires a workload wrapped in
+    :class:`~repro.workloads.distributed.DistributedWorkload`; the
+    assembled graph is what :class:`repro.api.RankStudy` executes::
+
+        RankStudy("miniFE", rank_counts=(1, 2, 4)).run()
+    """
+
+    name = "rankify"
+    inputs = ()
+    outputs = ("rank_observations",)
+    description = "instrument every rank's execution (per-rank BBV/LDV)"
+    cacheable = True
+
+    def __init__(self, discovery_runs: int | None = None) -> None:
+        if discovery_runs is not None and discovery_runs < 1:
+            raise ValueError(f"discovery_runs must be >= 1, got {discovery_runs}")
+        self.discovery_runs = discovery_runs
+
+    def effective_runs(self, ctx: StageContext) -> int:
+        """Constructor override, else the shared configuration."""
+        if self.discovery_runs is not None:
+            return self.discovery_runs
+        return ctx.config.discovery_runs
+
+    @staticmethod
+    def _ranks(ctx: StageContext) -> int:
+        return int(getattr(ctx.app, "ranks", 1))
+
+    def run(self, ctx: StageContext) -> StageContext:
+        trace = ctx.trace(ctx.discovery_isa)
+        if not hasattr(trace, "rank_traces"):
+            raise TypeError(
+                f"rankify needs a distributed workload; wrap {ctx.app.name!r} "
+                "in repro.workloads.distributed.DistributedWorkload"
+            )
+        counters = ctx.counters_on(ctx.discovery_isa)
+        label = ctx.binary(ctx.discovery_isa).label
+        rng = ctx.tree.child("discovery", ctx.app.name, ctx.threads, label)
+
+        observations: list[list[DiscoveryObservation]] = []
+        for run in range(self.effective_runs(ctx)):
+            per_rank: list[DiscoveryObservation] = []
+            for rank in range(trace.ranks):
+                rank_trace = trace.rank_trace(rank)
+                cols = trace.rank_columns(rank)
+                weights = counters.values[:, cols, INSTRUCTIONS].sum(axis=1)
+                bbv = collect_bbv(rank_trace)
+                ldv = collect_ldv(rank_trace)
+                sigma = signature_jitter_sigma(weights, rank_trace.threads)
+                gen = rng.generator("run", run, "rank", rank)
+                bbv = bbv * np.exp(sigma[:, None] * gen.standard_normal(bbv.shape))
+                ldv = ldv * np.exp(sigma[:, None] * gen.standard_normal(ldv.shape))
+                per_rank.append(
+                    DiscoveryObservation(
+                        bbv=bbv, ldv=ldv, weights=weights.copy(), run_index=run
+                    )
+                )
+            observations.append(per_rank)
+        ctx.put("rank_observations", observations)
+        return ctx
+
+    def cache_key(self, ctx: StageContext) -> dict:
+        return {
+            "discovery_runs": self.effective_runs(ctx),
+            "discovery_isa": ctx.discovery_isa.value,
+            "ranks": self._ranks(ctx),
+            # The communication schedule shapes the trace this stage
+            # (and, through the digest chain, everything downstream)
+            # observes; a job with a different collective cadence must
+            # never share cache entries.
+            "phases": getattr(ctx.app, "phases", None),
+        }
+
+    def encode(self, ctx: StageContext) -> dict:
+        return {
+            "rank_observations": [
+                [
+                    {
+                        "bbv": encode_array(obs.bbv),
+                        "ldv": encode_array(obs.ldv),
+                        "weights": encode_array(obs.weights),
+                        "run_index": int(obs.run_index),
+                    }
+                    for obs in per_rank
+                ]
+                for per_rank in ctx.require("rank_observations")
+            ]
+        }
+
+    def decode(self, payload: dict, ctx: StageContext) -> None:
+        ctx.put(
+            "rank_observations",
+            [
+                [
+                    DiscoveryObservation(
+                        bbv=decode_array(row["bbv"]),
+                        ldv=decode_array(row["ldv"]),
+                        weights=decode_array(row["weights"]),
+                        run_index=int(row["run_index"]),
+                    )
+                    for row in per_rank
+                ]
+                for per_rank in payload["rank_observations"]
+            ],
+        )
+
+
+@register_stage
+class CoalesceRanksStage(Stage):
+    """Step 2 (distributed): coalesce per-rank signatures rank-major.
+
+    Builds each rank's signature matrix (row-normalised BBV ⊕ LDV, the
+    shared-memory Step 2 per rank) and concatenates them in the
+    documented rank-major layout, summing the clustering weights over
+    ranks.  Publishes the standard ``signatures`` artifact, so every
+    downstream stage is rank-agnostic.
+    """
+
+    name = "coalesce_ranks"
+    inputs = ("rank_observations",)
+    outputs = ("signatures",)
+    description = "coalesce per-rank signatures rank-major into one matrix"
+    cacheable = True
+
+    def __init__(self, bbv_weight: float | None = None) -> None:
+        self.bbv_weight = bbv_weight
+
+    def effective_weight(self, ctx: StageContext) -> float:
+        """Constructor override, else the shared configuration."""
+        return self.bbv_weight if self.bbv_weight is not None else ctx.config.bbv_weight
+
+    def run(self, ctx: StageContext) -> StageContext:
+        weight = self.effective_weight(ctx)
+        ctx.put(
+            "signatures",
+            [
+                coalesce_signatures(
+                    [build_signatures(obs, weight) for obs in per_rank]
+                )
+                for per_rank in ctx.require("rank_observations")
+            ],
+        )
+        return ctx
+
+    def cache_key(self, ctx: StageContext) -> dict:
+        return {"bbv_weight": self.effective_weight(ctx)}
+
+    def encode(self, ctx: StageContext) -> dict:
+        return {
+            "signatures": [
+                {
+                    "combined": encode_array(sig.combined),
+                    "weights": encode_array(sig.weights),
+                    "bbv_dims": int(sig.bbv_dims),
+                    "ldv_dims": int(sig.ldv_dims),
+                }
+                for sig in ctx.require("signatures")
+            ]
+        }
+
+    def decode(self, payload: dict, ctx: StageContext) -> None:
+        ctx.put(
+            "signatures",
+            [
+                SignatureMatrix(
+                    combined=decode_array(row["combined"]),
+                    weights=decode_array(row["weights"]),
+                    bbv_dims=int(row["bbv_dims"]),
+                    ldv_dims=int(row["ldv_dims"]),
+                )
+                for row in payload["signatures"]
+            ],
+        )

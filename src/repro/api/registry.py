@@ -65,6 +65,14 @@ class RegistryEntry(Generic[T]):
 class PluginRegistry(Generic[T]):
     """A named, case-insensitively searchable table of plugins.
 
+    Example
+    -------
+    >>> from repro.api import workload_registry
+    >>> workload_registry.get("minife").name   # case-insensitive
+    'miniFE'
+    >>> "LULESH" in workload_registry
+    True
+
     Parameters
     ----------
     kind:

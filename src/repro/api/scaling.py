@@ -42,9 +42,11 @@ from repro.hw.pmu import CYCLES, INSTRUCTIONS
 __all__ = [
     "SCALING_THREAD_COUNTS",
     "SCALING_MACHINES",
+    "BestRunMetrics",
     "ScalingCell",
     "ScalingResult",
     "ScalingStudy",
+    "best_run_metrics",
     "run_scaling_cell",
     "unsupported_reason",
 ]
@@ -150,41 +152,78 @@ class ScalingCell:
         )
 
 
-def _cell_from_run(run: PipelineRun, app_name: str, machine: Machine, threads: int) -> ScalingCell:
-    """Derive one machine's scaling cell from an executed stage graph."""
+@dataclass(frozen=True)
+class BestRunMetrics:
+    """Best-selection figures of merit of one machine's evaluation.
+
+    The common core both the scaling and the rank studies derive their
+    cells from: the lowest-primary-error barrier point set and the
+    wall/CPI accounting of its reconstruction.  See
+    :func:`best_run_metrics`.
+    """
+
+    selection: object
+    wall_cycles: float
+    instructions: float
+    cpi_true: float
+    cpi_estimate: float
+
+    @property
+    def cpi_error_pct(self) -> float:
+        """``100 × |cpi_estimate - cpi_true| / cpi_true``."""
+        return 100.0 * abs(self.cpi_estimate - self.cpi_true) / self.cpi_true
+
+
+def best_run_metrics(run: PipelineRun, machine: Machine) -> BestRunMetrics | None:
+    """Figures of merit of one machine's best selection, or None on failure.
+
+    Picks the lowest primary-error barrier point set of the run and
+    derives the measured wall cycles (slowest context's clean-ROI
+    cycles), total instructions, and the true/reconstructed CPI.
+    Returns None when the methodology could not be applied on this
+    machine; the reason lives in ``run.failures[machine.name]``.
+    """
     evaluations = run.evaluations.get(machine.name)
     if evaluations is None:
-        return ScalingCell.failed(
-            app_name, machine.name, threads, run.failures[machine.name]
-        )
+        return None
 
     best = min(
         range(len(evaluations)),
         key=lambda i: evaluations[i].report.primary_error,
     )
-    selection = evaluations[best].selection
     context = run.context
     reference = context.require("measurements")[machine.name]["reference"]
     estimate = context.require("estimates")[machine.name][best]["totals"]
 
-    wall_cycles = float(reference[:, CYCLES].max())
-    ref_cycles = float(reference[:, CYCLES].sum())
     ref_instr = float(reference[:, INSTRUCTIONS].sum())
-    est_cycles = float(estimate[:, CYCLES].sum())
-    est_instr = float(estimate[:, INSTRUCTIONS].sum())
-    cpi_true = ref_cycles / ref_instr
-    cpi_estimate = est_cycles / est_instr
+    return BestRunMetrics(
+        selection=evaluations[best].selection,
+        wall_cycles=float(reference[:, CYCLES].max()),
+        instructions=ref_instr,
+        cpi_true=float(reference[:, CYCLES].sum()) / ref_instr,
+        cpi_estimate=float(estimate[:, CYCLES].sum())
+        / float(estimate[:, INSTRUCTIONS].sum()),
+    )
+
+
+def _cell_from_run(run: PipelineRun, app_name: str, machine: Machine, threads: int) -> ScalingCell:
+    """Derive one machine's scaling cell from an executed stage graph."""
+    metrics = best_run_metrics(run, machine)
+    if metrics is None:
+        return ScalingCell.failed(
+            app_name, machine.name, threads, run.failures[machine.name]
+        )
     return ScalingCell(
         app=app_name,
         machine=machine.name,
         threads=threads,
-        k=selection.k,
-        total_barrier_points=selection.n_barrier_points,
-        wall_mcycles=wall_cycles / 1e6,
-        instructions=ref_instr,
-        cpi_true=cpi_true,
-        cpi_estimate=cpi_estimate,
-        cpi_error_pct=100.0 * abs(cpi_estimate - cpi_true) / cpi_true,
+        k=metrics.selection.k,
+        total_barrier_points=metrics.selection.n_barrier_points,
+        wall_mcycles=metrics.wall_cycles / 1e6,
+        instructions=metrics.instructions,
+        cpi_true=metrics.cpi_true,
+        cpi_estimate=metrics.cpi_estimate,
+        cpi_error_pct=metrics.cpi_error_pct,
     )
 
 
@@ -196,6 +235,17 @@ def run_scaling_cell(
     store: StageStore | None = None,
 ) -> ScalingCell:
     """Execute one scaling cell through the registered stage graph.
+
+    Example
+    -------
+    >>> from repro.api import run_scaling_cell, PipelineConfig
+    >>> from repro.hw.measure import MeasurementProtocol
+    >>> fast = PipelineConfig(
+    ...     discovery_runs=1, protocol=MeasurementProtocol(repetitions=2)
+    ... )
+    >>> cell = run_scaling_cell("MCB", "Intel Core i7-3770", 2, fast)
+    >>> cell.threads, cell.k >= 1
+    (2, True)
 
     Discovery runs on x86_64 (the paper's Section V-A rule) at the
     cell's thread count; measurement, reconstruction and validation

@@ -25,6 +25,27 @@ __all__ = ["Stage"]
 class Stage(abc.ABC):
     """Base class of pipeline stages (subclass and register to extend).
 
+    Example
+    -------
+    A minimal custom stage that derives an artifact from the built-in
+    ``selections`` and plugs into any pipeline::
+
+        from repro.api import Stage, register_stage
+
+        @register_stage
+        class CountStage(Stage):
+            name = "count"
+            inputs = ("selections",)
+            outputs = ("selection_sizes",)
+            description = "record each selection's representative count"
+
+            def run(self, ctx):
+                ctx.put("selection_sizes",
+                        [s.k for s in ctx.require("selections")])
+                return ctx
+
+        build_pipeline("miniFE").with_stage(CountStage()).run()
+
     Class attributes
     ----------------
     name:

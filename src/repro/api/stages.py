@@ -508,3 +508,10 @@ def default_stages() -> list[Stage]:
     from repro.api.registry import stage_registry
 
     return [stage_registry.get(name)() for name in DEFAULT_STAGE_NAMES]
+
+
+# Importing this module is what populates the stage registry (it is the
+# registry's autoload target), so the distributed-memory stages register
+# here too — they live in their own module to keep this one the
+# shared-memory canon.
+from repro.api import rank_stages as _rank_stages  # noqa: E402,F401  (registration)

@@ -112,6 +112,17 @@ def run_crossarch(
 ) -> CrossArchResult:
     """Execute discovery + evaluation for all four configurations.
 
+    Example
+    -------
+    >>> from repro.api import run_crossarch, PipelineConfig
+    >>> from repro.hw.measure import MeasurementProtocol
+    >>> fast = PipelineConfig(
+    ...     discovery_runs=1, protocol=MeasurementProtocol(repetitions=2)
+    ... )
+    >>> result = run_crossarch("MCB", threads=2, config=fast)
+    >>> sorted(result.configs)
+    ['ARMv8', 'ARMv8-vect', 'x86_64', 'x86_64-vect']
+
     Parameters
     ----------
     workload:

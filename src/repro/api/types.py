@@ -43,6 +43,16 @@ class SupportsProgram(Protocol):
 class PipelineConfig:
     """Pipeline parameters; defaults follow the paper's protocol.
 
+    Example
+    -------
+    >>> from repro.api import PipelineConfig
+    >>> from repro.hw.measure import MeasurementProtocol
+    >>> fast = PipelineConfig(
+    ...     discovery_runs=3, protocol=MeasurementProtocol(repetitions=5)
+    ... )
+    >>> fast.discovery_runs, fast.seed
+    (3, 2017)
+
     Attributes
     ----------
     discovery_runs:
@@ -70,7 +80,12 @@ class PipelineConfig:
 
 @dataclass(frozen=True)
 class EvaluationResult:
-    """Validation of one barrier point set on one platform."""
+    """Validation of one barrier point set on one platform.
+
+    Pairs the selection with its :class:`~repro.core.validation.EstimationReport`;
+    ``report.primary_error`` (worst cycles/instructions error) is the
+    ranking key every study uses to pick its best set.
+    """
 
     label: str
     selection: BarrierPointSelection

@@ -13,6 +13,7 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro coalesce        # future work: barrier-point coalescing
     repro coretypes       # future work: in-order vs out-of-order
     repro scaling         # strong-scaling grid: threads x machines
+    repro ranks           # distributed-memory grid: ranks x machines
     repro all             # every artefact from one scheduled pass
     repro workloads       # registered workload plugins ('list' is an alias)
     repro machines        # registered machine plugins
@@ -36,7 +37,8 @@ import sys
 from repro.exec.backends import BACKEND_NAMES
 from repro.exec.scheduler import StudyScheduler
 from repro.experiments import coalesce, coretypes, figure1, figure2, limitations
-from repro.experiments import scaling, table1, table2, table3, table4, variability
+from repro.experiments import ranks, scaling, table1, table2, table3, table4
+from repro.experiments import variability
 from repro.experiments.config import SCALES, default_config
 
 __all__ = ["main"]
@@ -54,6 +56,7 @@ _EXPERIMENTS = {
     "coalesce": coalesce,
     "coretypes": coretypes,
     "scaling": scaling,
+    "ranks": ranks,
 }
 
 

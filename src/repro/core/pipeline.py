@@ -53,8 +53,9 @@ class BarrierPointPipeline:
     ) -> None:
         warn_once(
             "BarrierPointPipeline",
-            "BarrierPointPipeline is deprecated; use repro.api.build_pipeline(...)"
-            " to assemble a stage pipeline",
+            "BarrierPointPipeline is deprecated; use build_pipeline from "
+            "repro.api.builder (canonically re-exported as "
+            "repro.api.build_pipeline) to assemble a stage pipeline",
         )
         self._impl = StagePipeline(
             app, threads, vectorised, config, discovery_isa=self.DISCOVERY_ISA

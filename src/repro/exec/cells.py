@@ -31,16 +31,18 @@ CELL_KINDS: dict[str, str] = {
     "coalesce": "repro.experiments.coalesce:coalesce_cell",
     "coretypes": "repro.experiments.coretypes:coretype_cell",
     "scaling": "repro.experiments.scaling:scaling_cell",
+    "ranks": "repro.experiments.ranks:rank_cell",
 }
 
-#: Cell kinds excluded from the cell-level StudyStore.  Scaling cells
-#: are thin derivations over stage-cached artifacts: the expensive
-#: stages (profile → measure) are already content-addressed in the
-#: StageStore and *shared* across the grid (three machines per
-#: (app, threads), plus the crossarch cells' scalar half), so caching
-#: the derived payload a second time would only duplicate bytes and
-#: hide the stage-cache traffic the verbose report accounts for.
-CELL_LEVEL_UNCACHED: frozenset[str] = frozenset({"scaling"})
+#: Cell kinds excluded from the cell-level StudyStore.  Scaling and
+#: rank cells are thin derivations over stage-cached artifacts: the
+#: expensive stages (profile/rankify → measure) are already
+#: content-addressed in the StageStore and *shared* across the grid
+#: (three machines per (app, threads) or (app, ranks), plus the
+#: crossarch cells' scalar half), so caching the derived payload a
+#: second time would only duplicate bytes and hide the stage-cache
+#: traffic the verbose report accounts for.
+CELL_LEVEL_UNCACHED: frozenset[str] = frozenset({"scaling", "ranks"})
 
 _RESOLVED: dict[str, Callable] = {}
 

@@ -1,0 +1,221 @@
+"""Distributed ranks — does the region survive the network?
+
+The paper scopes barrier-region selection to a single shared-memory
+node; this artefact opens the distributed-memory axis.  One ``"ranks"``
+study cell is declared per (application, machine, ranks) over every
+evaluated app, the three registered machines and rank counts 1, 2, 4, 8
+(each rank a 2-thread OpenMP team on its own node), so the scheduler
+deduplicates and parallelises the whole grid at once.
+
+Per application the table reports, per (machine, ranks): the job's wall
+cycles, the rank-scaling speedup and parallel efficiency against the
+1-rank run on the same machine, the **communication share** (the
+slowest rank's network cycles — transfer plus busy-poll wait at
+collectives — as a percentage of the wall), the barrier points
+selected, and the barrier-region CPI estimate against the full run's
+CPI.  A representative region that stops being representative shows up
+as growing CPI error; a job that merely becomes communication-bound
+shows up as a growing comm share with stable CPI error — the table
+separates the two failure modes.
+
+Rank cells are derivations over stage-cached artifacts and are
+deliberately *not* persisted in the cell-level StudyStore
+(:data:`repro.exec.cells.CELL_LEVEL_UNCACHED`): the heavy stages are
+shared through the :class:`~repro.exec.stagestore.StageStore` across
+the three machines of one (app, ranks), so a re-render re-executes only
+cheap reconstruction against stage-cache hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.ranks import (
+    RANK_COUNTS,
+    RANK_MACHINES,
+    RANK_THREADS,
+    RankCell,
+    RankResult,
+    rank_unsupported_reason,
+)
+from repro.api.registry import machine_registry
+from repro.exec.request import StudyRequest
+from repro.exec.scheduler import StudyScheduler
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.util.tables import render_table
+from repro.workloads.registry import EVALUATED_APPS
+
+__all__ = [
+    "RankTable",
+    "rank_request",
+    "rank_cell",
+    "requests",
+    "build",
+    "run",
+]
+
+_HEADERS = (
+    "Machine",
+    "Ranks",
+    "Wall Mcyc",
+    "Comm Mcyc",
+    "Comm %",
+    "Speedup",
+    "Eff (%)",
+    "BPs",
+    "CPI est/true",
+    "CPI err (%)",
+    "Note",
+)
+
+
+def rank_request(app: str, ranks: int, machine: str) -> StudyRequest:
+    """Declare the rank cell for one (app, machine, ranks)."""
+    return StudyRequest(
+        kind="ranks",
+        app=app,
+        threads=RANK_THREADS,
+        params=(("machine", machine), ("ranks", ranks)),
+    )
+
+
+def rank_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
+    """Executor for ``"ranks"`` cells (runs in scheduler workers)."""
+    from repro.api.ranks import run_rank_cell
+    from repro.exec.stagestore import stage_store_for
+
+    cell = run_rank_cell(
+        request.app,
+        request.param("machine"),
+        int(request.param("ranks")),
+        request.threads,
+        config.pipeline_config(),
+        store=stage_store_for(config),
+    )
+    return cell.to_payload()
+
+
+def _supported(machine_name: str, ranks: int) -> bool:
+    return machine_registry.get(machine_name).supports_hybrid(ranks, RANK_THREADS)
+
+
+def requests(config: ExperimentConfig) -> list[StudyRequest]:
+    """Every supported cell of the apps × machines × ranks grid."""
+    return [
+        rank_request(app, ranks, machine)
+        for app in EVALUATED_APPS
+        for machine in RANK_MACHINES
+        for ranks in RANK_COUNTS
+        if _supported(machine, ranks)
+    ]
+
+
+@dataclass(frozen=True)
+class RankTable:
+    """The rank-sweep artefact: one :class:`RankResult` per app."""
+
+    results: list[RankResult]
+
+    def result(self, app: str) -> RankResult:
+        """The rank result of one application."""
+        for result in self.results:
+            if result.app == app:
+                return result
+        raise KeyError(f"no rank result for {app!r}")
+
+    def render(self) -> str:
+        """One ASCII table per application, in evaluation order."""
+        blocks = []
+        for result in self.results:
+            rows = []
+            for machine in result.machines:
+                for ranks in result.rank_counts:
+                    rows.append(self._row(result, machine, ranks))
+            blocks.append(
+                render_table(
+                    _HEADERS,
+                    rows,
+                    title=(
+                        f"Distributed ranks — {result.app} "
+                        f"({result.threads} threads/rank, scalar binaries, "
+                        "x86_64 discovery)"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+    @staticmethod
+    def _row(result: RankResult, machine: str, ranks: int) -> tuple:
+        reason = result.unsupported.get((machine, ranks))
+        if reason is not None:
+            return (
+                machine, ranks, None, None, None, None, None, None, None,
+                None, reason,
+            )
+        cell = result.cells.get((machine, ranks))
+        if cell is None:
+            return (
+                machine, ranks, None, None, None, None, None, None, None,
+                None, "not computed",
+            )
+        if cell.failure:
+            return (
+                machine, ranks, None, None, None, None, None, None, None,
+                None, cell.failure,
+            )
+        speedup = result.speedup(machine, ranks)
+        efficiency = result.efficiency_pct(machine, ranks)
+        return (
+            machine,
+            ranks,
+            f"{cell.wall_mcycles:.2f}",
+            f"{cell.comm_mcycles:.2f}",
+            f"{cell.comm_pct:.1f}",
+            f"{speedup:.2f}x" if speedup is not None else None,
+            f"{efficiency:.1f}" if efficiency is not None else None,
+            f"{cell.k}/{cell.total_barrier_points}",
+            f"{cell.cpi_estimate:.3f} / {cell.cpi_true:.3f}",
+            f"{cell.cpi_error_pct:.2f}",
+            "",
+        )
+
+
+def build(results, config: ExperimentConfig) -> RankTable:
+    """Assemble the rank tables from executed study cells."""
+    cells: dict[str, dict[tuple[str, int], RankCell]] = {}
+    for request, payload in results.items():
+        if request.kind != "ranks":
+            continue
+        cell = RankCell.from_payload(payload)
+        cells.setdefault(cell.app, {})[(cell.machine, cell.ranks)] = cell
+
+    unsupported = {
+        (machine, ranks): rank_unsupported_reason(
+            machine_registry.get(machine), RANK_THREADS
+        )
+        for machine in RANK_MACHINES
+        for ranks in RANK_COUNTS
+        if not _supported(machine, ranks)
+    }
+    table_results = [
+        RankResult(
+            app=app,
+            machines=RANK_MACHINES,
+            rank_counts=RANK_COUNTS,
+            threads=RANK_THREADS,
+            cells=cells.get(app, {}),
+            unsupported=dict(unsupported),
+        )
+        for app in EVALUATED_APPS
+    ]
+    return RankTable(results=table_results)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    scheduler: StudyScheduler | None = None,
+) -> RankTable:
+    """Build the rank-sweep tables from the scheduled grid."""
+    config = config or default_config()
+    scheduler = scheduler or StudyScheduler(config)
+    return build(scheduler.run(requests(config)), config)

@@ -27,6 +27,14 @@ with an explicit error — oversubscription is outside the paper's
 protocol — so the strong-scaling sweep marks such cells unsupported
 instead of silently clamping them.
 
+Distributed-memory jobs add a **rank** axis on top: one MPI rank per
+node, each node an identical copy of the machine, connected by the
+machine's :class:`~repro.hw.network.NetworkSpec`.
+:meth:`Machine.hybrid_placement` pins a ranks × threads hybrid job by
+tiling the single-node scatter-first placement across nodes — cache
+sharing never crosses a node boundary, and each node's L3 is shared
+only by that rank's team.
+
 CPI and penalty figures are order-of-magnitude realistic for Ivy Bridge
 and the first-generation X-Gene; absolute fidelity is not required (see
 DESIGN.md §2) because the methodology's error metrics compare a machine
@@ -40,6 +48,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hw.caches import CacheLevelSpec
+from repro.hw.network import NetworkSpec
 from repro.hw.pmu import PmuNoiseSpec
 from repro.ir.memory import PatternKind
 from repro.isa.descriptors import ISA
@@ -128,6 +137,9 @@ class Machine:
         anomaly.
     pmu:
         PMU noise parameters.
+    network:
+        Inter-node interconnect parameters for distributed-memory
+        (rank) jobs; see :mod:`repro.hw.network`.
     """
 
     name: str
@@ -151,6 +163,7 @@ class Machine:
     cliff_boost: float
     pmu: PmuNoiseSpec
     l2_shared_by_cluster: bool = False
+    network: NetworkSpec = NetworkSpec()
 
     @property
     def max_threads(self) -> int:
@@ -243,6 +256,46 @@ class Machine:
     def supports_threads(self, threads: int) -> bool:
         """Whether a team of this width fits the hardware contexts."""
         return 1 <= threads <= self.max_threads
+
+    def validate_hybrid(self, ranks: int, threads: int) -> None:
+        """Raise unless a ranks × threads hybrid job can be placed.
+
+        Ranks land one per node, so the rank count is unbounded; each
+        rank's team must fit its node's hardware contexts exactly as in
+        the shared-memory case.
+        """
+        if ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {ranks}")
+        self.validate_threads(threads)
+
+    def supports_hybrid(self, ranks: int, threads: int) -> bool:
+        """Whether a ranks × threads hybrid job can be placed."""
+        return ranks >= 1 and self.supports_threads(threads)
+
+    def hybrid_placement(self, ranks: int, threads: int) -> ThreadPlacement:
+        """Scatter-first pinning of a ranks × threads hybrid job.
+
+        One rank per node: rank ``r``'s team receives the single-node
+        :meth:`placement` with core/cluster indices offset into node
+        ``r``'s private hardware, so sharer maps and SMT pairing are
+        node-local and identical across ranks.  The returned placement
+        is rank-major — hardware context ``r * threads + t`` is thread
+        ``t`` of rank ``r`` — matching the thread-axis layout of
+        coalesced distributed traces.
+        """
+        self.validate_hybrid(ranks, threads)
+        node = self.placement(threads)
+        return ThreadPlacement(
+            core=np.concatenate(
+                [node.core + r * self.cores for r in range(ranks)]
+            ),
+            cluster=np.concatenate(
+                [node.cluster + r * self.clusters for r in range(ranks)]
+            ),
+            l1_sharers=np.tile(node.l1_sharers, ranks),
+            l2_sharers=np.tile(node.l2_sharers, ranks),
+            smt_corun=np.tile(node.smt_corun, ranks),
+        )
 
     def memory_penalty(self, threads: int) -> float:
         """L3-miss penalty including bandwidth contention."""
@@ -357,6 +410,9 @@ INTEL_I7_3770 = Machine(
         interference_slope=0.05,
         unpinned_factor=3.0,
     ),
+    # QDR-InfiniBand-class fabric at 3.4 GHz: ~1.5 us small-message
+    # latency, ~6.8 GB/s sustained point-to-point.
+    network=NetworkSpec(latency_cycles=5100.0, bytes_per_cycle=2.0),
 )
 
 APM_XGENE = Machine(
@@ -450,6 +506,9 @@ APM_XGENE = Machine(
         unpinned_factor=3.0,
     ),
     l2_shared_by_cluster=True,
+    # FDR-class fabric at 2.4 GHz: ~1.7 us small-message latency,
+    # ~3.4 GB/s sustained point-to-point.
+    network=NetworkSpec(latency_cycles=4100.0, bytes_per_cycle=1.4),
 )
 
 
@@ -500,6 +559,9 @@ ARMV8_IN_ORDER = Machine(
         unpinned_factor=3.0,
     ),
     l2_shared_by_cluster=True,
+    # Modest 10 GbE-class fabric at 1.5 GHz: higher relative latency,
+    # ~1.8 GB/s per link — communication costs bite earliest here.
+    network=NetworkSpec(latency_cycles=4500.0, bytes_per_cycle=1.2),
 )
 
 

@@ -1,0 +1,83 @@
+"""Analytic inter-node network model (latency/bandwidth, alpha-beta).
+
+The cache hierarchy charges a miss ``penalty × exposed fraction``
+cycles; the network model is its inter-node sibling: one message costs
+``latency + bytes / bandwidth`` cycles (the classic alpha-beta model),
+and a collective over R ranks costs ``ceil(log2 R)`` such steps — the
+recursive-doubling / binomial-tree shape every MPI implementation
+converges to for small and medium payloads.
+
+Costs are charged to PMU counters under MPI's default progression
+model: ranks **busy-poll** while blocked (no futex parking, unlike the
+OpenMP barrier model in :mod:`repro.runtime.barriers`), so every cycle
+spent waiting in a collective is a *counted* cycle, with a trickle of
+poll-loop instructions at :data:`POLL_IPC`.  This is why
+communication-bound configurations show up as wall-cycle growth in the
+``repro ranks`` tables rather than vanishing from the counters.
+
+Like the cache-hierarchy penalties, the constants are order-of-
+magnitude realistic (a few-microsecond small-message latency on
+gigabyte-per-second links); absolute fidelity is not required because
+the methodology's error metrics compare a machine against itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["POLL_IPC", "NetworkSpec"]
+
+#: Instructions retired per cycle while busy-polling inside an MPI
+#: blocking call (progress-engine loops are branchy but tight).
+POLL_IPC = 0.30
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Per-machine interconnect parameters (alpha-beta model).
+
+    Attributes
+    ----------
+    latency_cycles:
+        One-way small-message latency in core cycles (the alpha term).
+    bytes_per_cycle:
+        Sustained point-to-point bandwidth in bytes per core cycle
+        (the inverse beta term).
+    """
+
+    latency_cycles: float = 3000.0
+    bytes_per_cycle: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0:
+            raise ValueError(
+                f"latency_cycles must be >= 0, got {self.latency_cycles}"
+            )
+        if self.bytes_per_cycle <= 0:
+            raise ValueError(
+                f"bytes_per_cycle must be > 0, got {self.bytes_per_cycle}"
+            )
+
+    def p2p_cycles(self, nbytes: float) -> float:
+        """Cycles one matched send/recv pair spends on the wire.
+
+        ``latency + bytes / bandwidth`` — charged to both endpoints
+        (the sender blocks in the rendezvous, the receiver in the
+        matching wait).
+        """
+        return self.latency_cycles + float(nbytes) / self.bytes_per_cycle
+
+    def collective_cycles(self, nbytes: float, ranks: int) -> float:
+        """Cycles one rank spends inside a collective over ``ranks``.
+
+        A binomial tree performs ``ceil(log2 ranks)`` point-to-point
+        steps; one rank is no communication at all (cost 0), which is
+        what anchors the 1-rank baseline of the rank-sweep tables.
+        """
+        if ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {ranks}")
+        if ranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(ranks))
+        return rounds * self.p2p_cycles(nbytes)

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.hw.machines import Machine
+from repro.hw.network import POLL_IPC
 from repro.hw.pmu import CYCLES, INSTRUCTIONS, L1D_MISSES, L2D_MISSES, N_METRICS
 from repro.ir.trace import ExecutionTrace
 from repro.isa.descriptors import ISA
@@ -83,16 +84,23 @@ class TrueCounters:
     ----------
     values:
         ``(n_bp, threads, 4)`` in canonical metric order
-        (:data:`repro.hw.pmu.PMU_METRICS`).
+        (:data:`repro.hw.pmu.PMU_METRICS`).  For distributed traces the
+        thread axis spans all ``ranks × threads`` contexts, rank-major.
     trace:
         The trace the counters were derived from.
     machine_name:
         Provenance for reports.
+    comm_cycles:
+        ``(n_bp, ranks)`` network cycles (transfer + busy-poll wait)
+        charged per rank, or None for shared-memory traces.  These
+        cycles are already folded into ``values``; the plane is kept so
+        rank studies can report the communication share explicitly.
     """
 
     values: np.ndarray
     trace: ExecutionTrace = field(repr=False)
     machine_name: str
+    comm_cycles: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def n_barrier_points(self) -> int:
@@ -143,16 +151,25 @@ class PerfModel:
                 f"trace compiled for {trace.binary.isa} cannot run on {machine.name}"
             )
         threads = trace.threads
-        machine.validate_threads(threads)
+        ranks = getattr(trace, "ranks", 1)
+        team = threads // ranks
+        machine.validate_hybrid(ranks, team)
 
         # Scatter-first placement, per thread: sharing (and hence the
         # per-thread effective capacity and SMT inflation) is uniform at
         # the paper's 1/2/4/8 widths but non-uniform at partially-filled
         # widths (5..7 on the i7, 5..7 on the X-Gene clusters).  Threads
         # with identical sharing are grouped so each distinct capacity
-        # pair evaluates the miss model exactly once.
-        placement = machine.placement(threads)
-        cap_l3 = machine.l3.effective_capacity(machine.l3_sharers(threads))
+        # pair evaluates the miss model exactly once.  Distributed
+        # traces tile the node placement across one node per rank, so
+        # cache sharing — including the L3 and the memory bandwidth —
+        # never crosses a rank boundary.
+        placement = (
+            machine.hybrid_placement(ranks, team)
+            if ranks > 1
+            else machine.placement(threads)
+        )
+        cap_l3 = machine.l3.effective_capacity(machine.l3_sharers(team))
         sharing_groups: list[tuple[float, float, np.ndarray]] = []
         for s1, s2 in dict.fromkeys(
             zip(placement.l1_sharers.tolist(), placement.l2_sharers.tolist())
@@ -170,7 +187,7 @@ class PerfModel:
         smt_factors = np.where(
             placement.smt_corun, machine.smt_cpi_penalty, 1.0
         )  # (threads,)
-        mem_penalty = machine.memory_penalty(threads)
+        mem_penalty = machine.memory_penalty(team)
         isa = machine.isa
 
         per_template: list[np.ndarray] = []
@@ -268,7 +285,16 @@ class PerfModel:
 
             instr *= jit_instr[:, None]
             busy *= jit_cycles[:, None]
-            spin_cycles, spin_instr = barrier_spin(busy)
+            if ranks > 1:
+                # OpenMP barriers are rank-local: each rank's team spins
+                # for its own slowest thread.  Inter-rank waits happen
+                # only at communication events (applied below).
+                shaped = busy.reshape(n_inst, ranks, team)
+                spin_cycles, spin_instr = barrier_spin(shaped)
+                spin_cycles = spin_cycles.reshape(n_inst, threads)
+                spin_instr = spin_instr.reshape(n_inst, threads)
+            else:
+                spin_cycles, spin_instr = barrier_spin(busy)
 
             values = np.zeros((n_inst, threads, N_METRICS))
             values[:, :, CYCLES] = busy + spin_cycles
@@ -278,7 +304,66 @@ class PerfModel:
             per_template.append(values)
 
         stacked = trace.gather_instance_values(per_template)
-        return TrueCounters(values=stacked, trace=trace, machine_name=machine.name)
+        comm_cycles = None
+        if getattr(trace, "comm", None) is not None:
+            comm_cycles = _apply_comm_costs(stacked, trace, machine)
+        return TrueCounters(
+            values=stacked,
+            trace=trace,
+            machine_name=machine.name,
+            comm_cycles=comm_cycles,
+        )
+
+
+def _apply_comm_costs(
+    stacked: np.ndarray, trace: ExecutionTrace, machine: Machine
+) -> np.ndarray:
+    """Fold network costs into the counters; returns ``(n_bp, ranks)``.
+
+    Per event at barrier-point position ``p``:
+
+    * a **collective** is a global barrier — every rank waits for the
+      slowest rank's arrival (its pre-communication cycle maximum at
+      ``p``) and then pays the tree cost of the operation.  The
+      arrival lag is charged **once per position**, however many
+      collectives stack there: the first one already synchronised the
+      ranks, so the rest add only their tree costs;
+    * a **SEND** charges the alpha-beta transfer cost to both
+      endpoints only.
+
+    MPI blocking calls busy-poll by default, so waiting cycles are
+    *counted* cycles: the per-rank cost lands in every context of the
+    rank (the whole team blocks at the rank's communication point),
+    with poll-loop instructions trickling in at
+    :data:`repro.hw.network.POLL_IPC`.
+    """
+    comm = trace.comm  # type: ignore[attr-defined]
+    ranks = trace.ranks  # type: ignore[attr-defined]
+    team = trace.threads // ranks
+    n_bp = stacked.shape[0]
+    comm_cycles = np.zeros((n_bp, ranks))
+    if not comm.events:
+        return comm_cycles
+
+    net = machine.network
+    rank_busy = stacked[:, :, CYCLES].reshape(n_bp, ranks, team).max(axis=2)
+    lagged: set[int] = set()
+    for event in comm.events:
+        pos = event.position
+        if event.is_collective:
+            if pos not in lagged:
+                lagged.add(pos)
+                comm_cycles[pos] += rank_busy[pos].max() - rank_busy[pos]
+            comm_cycles[pos] += net.collective_cycles(event.nbytes, ranks)
+        else:
+            cost = net.p2p_cycles(event.nbytes)
+            comm_cycles[pos, event.src] += cost
+            comm_cycles[pos, event.dst] += cost
+
+    added = np.repeat(comm_cycles, team, axis=1)  # rank-major broadcast
+    stacked[:, :, CYCLES] += added
+    stacked[:, :, INSTRUCTIONS] += added * POLL_IPC
+    return comm_cycles
 
 
 def _compute_cycles_per_iter(lowered: LoweredCounts, cpi: dict[str, float]) -> float:

@@ -1,0 +1,220 @@
+"""Driving an SPMD job of R ranks through the simulated runtime.
+
+:func:`execute_distributed` runs one program once per rank — each rank
+with its own structural randomness (per-instance work, thread
+imbalance), exactly as R processes fed R sub-domains of the same input
+would behave — and **coalesces** the per-rank traces into a single
+:class:`DistributedTrace` whose thread axis is rank-major: hardware
+context ``r * threads + t`` is thread ``t`` of rank ``r``.
+
+Domain decomposition follows the strong-scaling SPMD contract:
+
+* **parallel** regions split the work — each rank executes ``1/R`` of
+  every instance's iterations (and owns ``1/R`` of the footprint, which
+  its trace carries through a scaled drift multiplier), so the whole
+  job does the same total work at every rank count;
+* **serial** regions replicate — every rank's master thread runs them
+  in full (the Amdahl term of rank scaling), exactly as redundant
+  setup/reduction code behaves in real MPI applications.
+
+The coalesced form is what makes the whole downstream stack
+(performance model, PMU measurement, reconstruction, validation)
+distributed-aware without per-module surgery: a distributed trace *is*
+an :class:`~repro.ir.trace.ExecutionTrace` with ``ranks × threads``
+columns, plus the communication schedule and the per-rank sub-traces
+that BBV/LDV collection slices per rank.
+
+Alignment invariant: every rank executes the same barrier-point
+sequence (SPMD), and collectives in the schedule synchronise all ranks
+at the same positions — so region boundaries are identical on every
+rank.  :func:`execute_distributed` asserts the sequence alignment
+rather than assuming it, so an architecture-dependent workload
+(HPGMG-FV style) diverging per rank fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.comm import CommSchedule
+from repro.ir.program import Program
+from repro.ir.trace import ExecutionTrace, TemplateTrace
+from repro.isa.descriptors import BinaryConfig
+from repro.runtime.execution import execute_program
+from repro.util.rng import RngTree
+
+__all__ = ["DistributedTrace", "execute_distributed"]
+
+
+@dataclass(frozen=True)
+class DistributedTrace(ExecutionTrace):
+    """A coalesced execution of R ranks × T threads.
+
+    The inherited ``threads`` is the total context count ``R × T``;
+    the inherited per-template ``iters`` tensors carry the rank-major
+    concatenation of every rank's thread columns.
+
+    Attributes
+    ----------
+    ranks:
+        Number of MPI-style ranks.
+    rank_traces:
+        The per-rank shared-memory traces (each ``threads_per_rank``
+        wide), kept for per-rank BBV/LDV collection.
+    comm:
+        The job's communication schedule.
+    """
+
+    ranks: int = 1
+    rank_traces: tuple[ExecutionTrace, ...] = ()
+    comm: CommSchedule = CommSchedule(n_ranks=1)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.threads % self.ranks != 0:
+            raise ValueError(
+                f"{self.threads} contexts do not split over {self.ranks} ranks"
+            )
+        if len(self.rank_traces) != self.ranks:
+            raise ValueError(
+                f"{len(self.rank_traces)} rank traces for {self.ranks} ranks"
+            )
+
+    @property
+    def threads_per_rank(self) -> int:
+        """Team width of one rank (the OpenMP half of the hybrid)."""
+        return self.threads // self.ranks
+
+    def rank_columns(self, rank: int) -> slice:
+        """Thread-axis slice of one rank's contexts (rank-major layout)."""
+        if not 0 <= rank < self.ranks:
+            raise ValueError(f"rank {rank} outside 0..{self.ranks - 1}")
+        width = self.threads_per_rank
+        return slice(rank * width, (rank + 1) * width)
+
+    def rank_trace(self, rank: int) -> ExecutionTrace:
+        """The shared-memory trace of one rank."""
+        if not 0 <= rank < self.ranks:
+            raise ValueError(f"rank {rank} outside 0..{self.ranks - 1}")
+        return self.rank_traces[rank]
+
+    def region_boundaries(self, rank: int) -> tuple[int, ...]:
+        """Collective-induced region boundaries as seen by one rank.
+
+        Collectives are global barriers, so this tuple is identical for
+        every rank — the invariant the rank-aware barrier-point
+        machinery (and its tests) relies on.
+        """
+        if not 0 <= rank < self.ranks:
+            raise ValueError(f"rank {rank} outside 0..{self.ranks - 1}")
+        return self.comm.collective_positions()
+
+
+def execute_distributed(
+    program: Program,
+    binary: BinaryConfig,
+    ranks: int,
+    threads: int,
+    rng: RngTree,
+    comm: CommSchedule | None = None,
+) -> DistributedTrace:
+    """Execute an SPMD job and return the coalesced distributed trace.
+
+    Parameters
+    ----------
+    program:
+        The per-rank program (every rank runs the same one — SPMD).
+    binary:
+        Binary variant every rank executes.
+    ranks / threads:
+        Job shape: R processes × T OpenMP threads each.
+    rng:
+        Structural randomness node; rank ``r`` draws from
+        ``rng.child("rank", r)``, so ranks see independent per-instance
+        work and imbalance while sharing the program structure.
+    comm:
+        Communication schedule; defaults to no communication (R
+        independent processes).  Positions are validated against the
+        program's barrier-point count.
+    """
+    if ranks < 1:
+        raise ValueError(f"ranks must be >= 1, got {ranks}")
+    comm = comm if comm is not None else CommSchedule(n_ranks=ranks)
+    if comm.n_ranks != ranks:
+        raise ValueError(
+            f"schedule built for {comm.n_ranks} ranks, job has {ranks}"
+        )
+    comm.validate_positions(program.n_barrier_points)
+
+    raw_traces = tuple(
+        execute_program(program, binary, threads, rng.child("rank", rank))
+        for rank in range(ranks)
+    )
+    first = raw_traces[0]
+    for rank, trace in enumerate(raw_traces[1:], start=1):
+        if not np.array_equal(trace.bp_template, first.bp_template):
+            raise ValueError(
+                f"rank {rank} executed a different barrier-point sequence "
+                f"than rank 0 — SPMD alignment broken"
+            )
+
+    # Domain decomposition: rank r of a parallel region executes 1/R of
+    # the iterations and owns 1/R of the footprint (its trace's drift
+    # multiplier carries the share, so per-rank LDV collection sees the
+    # sub-domain).  Serial regions replicate on every rank's master.
+    share = 1.0 / ranks
+    rank_traces = tuple(
+        ExecutionTrace(
+            program=program,
+            binary=binary,
+            threads=threads,
+            template_traces=tuple(
+                TemplateTrace(
+                    iters=part.iters * (share if template.parallel else 1.0),
+                    footprint_scale=part.footprint_scale
+                    * (share if template.parallel else 1.0),
+                    hot_scale=part.hot_scale,
+                    phase=part.phase,
+                )
+                for template, part in zip(program.templates, trace.template_traces)
+            ),
+            bp_template=trace.bp_template,
+            bp_instance=trace.bp_instance,
+        )
+        for trace in raw_traces
+    )
+
+    coalesced = []
+    for t_idx, template in enumerate(program.templates):
+        parts = [trace.template_traces[t_idx] for trace in rank_traces]
+        raw = first.template_traces[t_idx]
+        coalesced.append(
+            TemplateTrace(
+                iters=np.concatenate([part.iters for part in parts], axis=2),
+                # The coalesced trace keeps the *unscaled* drift state:
+                # the hardware model divides the whole domain across all
+                # R × T contexts itself, so folding the per-rank share in
+                # here would discount the footprint twice.  Drift is a
+                # deterministic function of the instance phase, identical
+                # across ranks; rank 0's arrays are the canonical copy.
+                footprint_scale=raw.footprint_scale,
+                hot_scale=raw.hot_scale,
+                phase=raw.phase,
+            )
+        )
+
+    return DistributedTrace(
+        program=program,
+        binary=binary,
+        threads=ranks * threads,
+        template_traces=tuple(coalesced),
+        bp_template=first.bp_template.copy(),
+        bp_instance=first.bp_instance.copy(),
+        ranks=ranks,
+        rank_traces=rank_traces,
+        comm=comm,
+    )

@@ -86,7 +86,9 @@ class TestBuiltinRegistries:
         assert "ARMv8 AppliedMicro X-Gene" in machine_registry
         assert "ARMv8 in-order (A53-class)" in machine_registry
 
-    def test_seven_stages_registered(self):
+    def test_builtin_stages_registered(self):
+        # The seven canonical shared-memory stages plus the two
+        # distributed-memory stages (rankify / coalesce_ranks).
         assert stage_registry.names() == (
             "profile",
             "signature",
@@ -95,6 +97,8 @@ class TestBuiltinRegistries:
             "measure",
             "reconstruct",
             "validate",
+            "rankify",
+            "coalesce_ranks",
         )
 
     def test_third_party_workload_roundtrip(self):
