@@ -9,10 +9,16 @@ Three sections land in the JSON:
 
 * ``grid``      — wall time of the scheduled apps × machines × threads
   sweep (cold and stage-cached re-render) plus its shape;
-* ``kernels``   — microbenchmarks of the two vectorised kernels the
-  sweep leans on: BBV/signature accumulation and the exact
-  set-associative LRU simulator's lockstep path;
+* ``kernels``   — microbenchmarks of the vectorised kernels the sweep
+  leans on: BBV/signature accumulation, the exact set-associative LRU
+  simulator's lockstep path, the columnar payload codec
+  (encode/decode round trip through a real container file), and the
+  vectorised exact reuse-distance engine;
 * ``meta``      — scale, python/numpy versions, cpu count.
+
+``benchmarks/check_regression.py`` compares a fresh report against the
+committed ``BENCH_bench_scaling_grid.json`` baseline; CI fails on >25%
+regression of any gated metric.
 
 Usage::
 
@@ -134,6 +140,90 @@ def bench_cache_kernel() -> dict:
     }
 
 
+def bench_codec_kernel() -> dict:
+    """Microbenchmark: columnar container encode/decode throughput."""
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.exec.columnar import read_payload_file, write_payload_atomic
+
+    gen = np.random.default_rng(2017)
+    payload = {
+        "observations": [
+            {
+                "bbv": gen.random((1200, 256)),
+                "ldv": gen.random((1200, 224)),
+                "weights": gen.random(1200),
+                "run_index": run,
+            }
+            for run in range(3)
+        ]
+    }
+    nbytes = sum(
+        arr.nbytes
+        for obs in payload["observations"]
+        for arr in (obs["bbv"], obs["ldv"], obs["weights"])
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = _Path(tmp) / "bench.rpb"
+        write_payload_atomic(path, payload, durable=False)  # warm
+        rounds = 5
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            write_payload_atomic(path, payload, durable=False)
+        encode_seconds = (time.perf_counter() - t0) / rounds
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            decoded, _size = read_payload_file(path)
+        decode_seconds = (time.perf_counter() - t0) / rounds
+        assert np.array_equal(
+            decoded["observations"][0]["bbv"], payload["observations"][0]["bbv"]
+        )
+    return {
+        "payload_mib": round(nbytes / 2**20, 1),
+        "encode_mib_per_second": round(nbytes / 2**20 / encode_seconds, 1),
+        "decode_mib_per_second": round(nbytes / 2**20 / decode_seconds, 1),
+    }
+
+
+def bench_reuse_kernel() -> dict:
+    """Microbenchmark: vectorised exact reuse distances vs the oracle."""
+    from repro.mem.reuse import reuse_distances_vectorised
+
+    gen = np.random.default_rng(2017)
+    lines = gen.integers(0, 4096, size=200_000)
+    reuse_distances_vectorised(lines[:1000])  # touch the code paths once
+    t0 = time.perf_counter()
+    distances = reuse_distances_vectorised(lines)
+    seconds = time.perf_counter() - t0
+    return {
+        "accesses": int(lines.size),
+        "cold": int((distances < 0).sum()),
+        "accesses_per_second": round(lines.size / seconds),
+    }
+
+
+def calibration_score() -> float:
+    """Machine-speed proxy: fixed numpy workload, higher = faster host.
+
+    The perf gate normalises wall-time and throughput metrics by this
+    score, so a committed baseline from one machine remains comparable
+    on a differently-sized CI runner; see
+    ``benchmarks/check_regression.py``.
+    """
+    gen = np.random.default_rng(7)
+    a = gen.random((256, 256))
+    vec = gen.random(1_250_000)  # ~10 MB: memory-bandwidth half
+    a @ a
+    vec.sum()
+    rounds = 10
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        (a @ a).sum()
+        vec.cumsum()
+    return round(rounds / (time.perf_counter() - t0), 2)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(BENCH_SCALES), default="smoke")
@@ -159,11 +249,14 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "calibration_score": calibration_score(),
         },
         "grid": bench_grid(args.scale, args.jobs, args.cache_dir),
         "kernels": {
             "bbv_collect": bench_bbv_kernel(),
             "cache_lockstep": bench_cache_kernel(),
+            "payload_codec": bench_codec_kernel(),
+            "reuse_distances": bench_reuse_kernel(),
         },
     }
     text = json.dumps(report, indent=2)

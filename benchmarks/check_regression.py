@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Perf gate: fail when a fresh bench report regresses past tolerance.
+
+Compares a freshly generated ``bench_scaling_grid`` report against the
+committed baseline (``BENCH_bench_scaling_grid.json`` at the repository
+root) and exits non-zero if any gated metric regressed by more than the
+tolerance (default 25%, the CI contract).
+
+Gated metrics::
+
+    grid.cold_seconds            lower is better
+    grid.warm_seconds            lower is better
+    kernels.*.accesses_per_second / *_mib_per_second   higher is better
+
+Absolute wall times are machine-dependent, so both reports carry a
+``meta.calibration_score`` (a fixed numpy workload timed on the same
+host, higher = faster): seconds-like metrics are normalised to
+machine-invariant work units (``seconds * score``) and throughputs to
+``value / score`` before comparing, which keeps a baseline committed
+from one machine meaningful on a differently-sized CI runner.  On top
+of that the tolerance is generous — the gate is meant to catch *step*
+regressions (an accidental re-serialisation, a vectorised path falling
+back to scalar), not 5% noise.  Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_bench_scaling_grid.json \
+        --candidate bench-scaling-grid.json [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (dotted path, higher_is_better)
+GATED_METRICS = (
+    ("grid.cold_seconds", False),
+    ("grid.warm_seconds", False),
+    ("kernels.bbv_collect.seconds_per_run", False),
+    ("kernels.cache_lockstep.accesses_per_second", True),
+    ("kernels.payload_codec.encode_mib_per_second", True),
+    ("kernels.payload_codec.decode_mib_per_second", True),
+    ("kernels.reuse_distances.accesses_per_second", True),
+)
+
+
+def _lookup(report: dict, dotted: str):
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check(baseline: dict, candidate: dict, tolerance: float) -> list[str]:
+    """Human-readable failure lines (empty when the gate passes)."""
+    base_score = _lookup(baseline, "meta.calibration_score")
+    cand_score = _lookup(candidate, "meta.calibration_score")
+    # Host-speed normalisation factor applied to the candidate; 1.0
+    # (raw comparison) when either report predates the calibration.
+    speed_ratio = (
+        cand_score / base_score if base_score and cand_score else 1.0
+    )
+
+    failures = []
+    for dotted, higher_is_better in GATED_METRICS:
+        base = _lookup(baseline, dotted)
+        cand = _lookup(candidate, dotted)
+        if base is None or cand is None or not base:
+            continue  # metric absent in one report: not comparable
+        if higher_is_better:
+            # Throughput on a host `speed_ratio`× as fast should be
+            # `speed_ratio`× the baseline's; compare in baseline units.
+            regression = (base - cand / speed_ratio) / base
+        else:
+            regression = (cand * speed_ratio - base) / base
+        if regression > tolerance:
+            failures.append(
+                f"{dotted}: {base} -> {cand} "
+                f"(host-normalised {regression * 100.0:+.1f}% worse, "
+                f"speed ratio {speed_ratio:.2f}, tolerance "
+                f"{tolerance * 100.0:.0f}%)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_bench_scaling_grid.json"),
+        help="committed baseline report",
+    )
+    parser.add_argument("--candidate", default="bench-scaling-grid.json")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    candidate = json.loads(Path(args.candidate).read_text())
+    if baseline.get("meta", {}).get("scale") != candidate.get("meta", {}).get("scale"):
+        print(
+            "error: baseline and candidate were run at different scales "
+            f"({baseline.get('meta', {}).get('scale')!r} vs "
+            f"{candidate.get('meta', {}).get('scale')!r})",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = check(baseline, candidate, args.tolerance)
+    if failures:
+        print("perf gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        f"perf gate passed ({len(GATED_METRICS)} metrics within "
+        f"{args.tolerance * 100.0:.0f}% of baseline)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

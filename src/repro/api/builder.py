@@ -22,6 +22,7 @@ every cacheable stage under a digest chain of upstream cache keys.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 
 import numpy as np
@@ -217,15 +218,21 @@ class StagePipeline:
             )
             if stage not in stages or stage.name in self._completed:
                 continue
-            if store is not None and store.enabled and stage.cacheable:
-                payload = store.load(digest, stage.name)
-                if payload is not None:
-                    stage.decode(payload, self.context)
-                else:
-                    stage.run(self.context)
-                    store.store(digest, stage.name, stage.encode(self.context))
+            cached = store is not None and store.enabled and stage.cacheable
+            payload = store.load(digest, stage.name) if cached else None
+            if payload is not None:
+                stage.decode(payload, self.context)
             else:
+                started = time.perf_counter()
                 stage.run(self.context)
+                if store is not None:
+                    # Accounted even when the store is disabled, so
+                    # --profile works under --no-cache.
+                    store.stats.record_run(
+                        stage.name, time.perf_counter() - started
+                    )
+                if cached:
+                    store.store(digest, stage.name, stage.encode(self.context))
             self._completed.add(stage.name)
 
     def run(self, store: StageStore | None = None) -> PipelineRun:

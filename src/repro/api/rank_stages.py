@@ -41,7 +41,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api.codec import decode_array, encode_array
 from repro.api.context import StageContext
 from repro.api.registry import register_stage
 from repro.api.stage import Stage
@@ -181,9 +180,9 @@ class RankifyStage(Stage):
             "rank_observations": [
                 [
                     {
-                        "bbv": encode_array(obs.bbv),
-                        "ldv": encode_array(obs.ldv),
-                        "weights": encode_array(obs.weights),
+                        "bbv": obs.bbv,
+                        "ldv": obs.ldv,
+                        "weights": obs.weights,
                         "run_index": int(obs.run_index),
                     }
                     for obs in per_rank
@@ -198,9 +197,9 @@ class RankifyStage(Stage):
             [
                 [
                     DiscoveryObservation(
-                        bbv=decode_array(row["bbv"]),
-                        ldv=decode_array(row["ldv"]),
-                        weights=decode_array(row["weights"]),
+                        bbv=row["bbv"],
+                        ldv=row["ldv"],
+                        weights=row["weights"],
                         run_index=int(row["run_index"]),
                     )
                     for row in per_rank
@@ -254,8 +253,8 @@ class CoalesceRanksStage(Stage):
         return {
             "signatures": [
                 {
-                    "combined": encode_array(sig.combined),
-                    "weights": encode_array(sig.weights),
+                    "combined": sig.combined,
+                    "weights": sig.weights,
                     "bbv_dims": int(sig.bbv_dims),
                     "ldv_dims": int(sig.ldv_dims),
                 }
@@ -268,8 +267,8 @@ class CoalesceRanksStage(Stage):
             "signatures",
             [
                 SignatureMatrix(
-                    combined=decode_array(row["combined"]),
-                    weights=decode_array(row["weights"]),
+                    combined=row["combined"],
+                    weights=row["weights"],
                     bbv_dims=int(row["bbv_dims"]),
                     ldv_dims=int(row["ldv_dims"]),
                 )

@@ -83,11 +83,21 @@ class Stage(abc.ABC):
         return {}
 
     def encode(self, ctx: StageContext) -> dict:
-        """JSON payload reproducing this stage's outputs (cacheable only)."""
+        """Payload tree reproducing this stage's outputs (cacheable only).
+
+        JSON-shaped scalars/dicts/lists with raw :class:`numpy.ndarray`
+        leaves — the store moves the arrays into the binary columnar
+        plane (or the legacy base64 plane), so stages never serialise
+        array data themselves.
+        """
         raise NotImplementedError(f"stage {self.name!r} is not cacheable")
 
     def decode(self, payload: dict, ctx: StageContext) -> None:
-        """Publish outputs from a cached payload instead of running."""
+        """Publish outputs from a cached payload instead of running.
+
+        Arrays in ``payload`` may be read-only zero-copy views into the
+        store's mmap; copy before mutating (pipeline stages never do).
+        """
         raise NotImplementedError(f"stage {self.name!r} is not cacheable")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

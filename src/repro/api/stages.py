@@ -31,7 +31,6 @@ from __future__ import annotations
 
 from dataclasses import asdict, replace
 
-from repro.api.codec import decode_array, encode_array
 from repro.api.context import StageContext
 from repro.api.registry import register_stage
 from repro.api.stage import Stage
@@ -149,9 +148,9 @@ class ProfileStage(Stage):
         return {
             "observations": [
                 {
-                    "bbv": encode_array(obs.bbv),
-                    "ldv": encode_array(obs.ldv),
-                    "weights": encode_array(obs.weights),
+                    "bbv": obs.bbv,
+                    "ldv": obs.ldv,
+                    "weights": obs.weights,
                     "run_index": int(obs.run_index),
                 }
                 for obs in ctx.require("observations")
@@ -163,9 +162,9 @@ class ProfileStage(Stage):
             "observations",
             [
                 DiscoveryObservation(
-                    bbv=decode_array(row["bbv"]),
-                    ldv=decode_array(row["ldv"]),
-                    weights=decode_array(row["weights"]),
+                    bbv=row["bbv"],
+                    ldv=row["ldv"],
+                    weights=row["weights"],
                     run_index=int(row["run_index"]),
                 )
                 for row in payload["observations"]
@@ -205,8 +204,8 @@ class SignatureStage(Stage):
         return {
             "signatures": [
                 {
-                    "combined": encode_array(sig.combined),
-                    "weights": encode_array(sig.weights),
+                    "combined": sig.combined,
+                    "weights": sig.weights,
                     "bbv_dims": int(sig.bbv_dims),
                     "ldv_dims": int(sig.ldv_dims),
                 }
@@ -219,8 +218,8 @@ class SignatureStage(Stage):
             "signatures",
             [
                 SignatureMatrix(
-                    combined=decode_array(row["combined"]),
-                    weights=decode_array(row["weights"]),
+                    combined=row["combined"],
+                    weights=row["weights"],
                     bbv_dims=int(row["bbv_dims"]),
                     ldv_dims=int(row["ldv_dims"]),
                 )
@@ -272,11 +271,11 @@ class ClusterStage(Stage):
             "clusterings": [
                 {
                     "k": int(choice.k),
-                    "labels": encode_array(choice.result.labels),
-                    "centers": encode_array(choice.result.centers),
+                    "labels": choice.result.labels,
+                    "centers": choice.result.centers,
                     "inertia": float(choice.result.inertia),
                     "iterations": int(choice.result.iterations),
-                    "projected": encode_array(choice.projected),
+                    "projected": choice.projected,
                     "bic_by_k": {str(k): float(v) for k, v in choice.bic_by_k.items()},
                 }
                 for choice in ctx.require("clusterings")
@@ -290,12 +289,12 @@ class ClusterStage(Stage):
                 ClusteringChoice(
                     k=int(row["k"]),
                     result=KMeansResult(
-                        labels=decode_array(row["labels"]),
-                        centers=decode_array(row["centers"]),
+                        labels=row["labels"],
+                        centers=row["centers"],
                         inertia=float(row["inertia"]),
                         iterations=int(row["iterations"]),
                     ),
-                    projected=decode_array(row["projected"]),
+                    projected=row["projected"],
                     bic_by_k={int(k): float(v) for k, v in row["bic_by_k"].items()},
                 )
                 for row in payload["clusterings"]
@@ -331,10 +330,10 @@ class SelectStage(Stage):
         return {
             "selections": [
                 {
-                    "representatives": encode_array(sel.representatives),
-                    "multipliers": encode_array(sel.multipliers),
-                    "labels": encode_array(sel.labels),
-                    "weights": encode_array(sel.weights),
+                    "representatives": sel.representatives,
+                    "multipliers": sel.multipliers,
+                    "labels": sel.labels,
+                    "weights": sel.weights,
                     "run_index": int(sel.run_index),
                 }
                 for sel in ctx.require("selections")
@@ -346,10 +345,10 @@ class SelectStage(Stage):
             "selections",
             [
                 BarrierPointSelection(
-                    representatives=decode_array(row["representatives"]),
-                    multipliers=decode_array(row["multipliers"]),
-                    labels=decode_array(row["labels"]),
-                    weights=decode_array(row["weights"]),
+                    representatives=row["representatives"],
+                    multipliers=row["multipliers"],
+                    labels=row["labels"],
+                    weights=row["weights"],
                     run_index=int(row["run_index"]),
                 )
                 for row in payload["selections"]
@@ -407,13 +406,10 @@ class MeasureStage(Stage):
         return {
             "measurements": {
                 name: {
-                    "means": encode_array(entry["means"]),
-                    "reference": encode_array(entry["reference"]),
+                    "means": entry["means"],
+                    "reference": entry["reference"],
                     "reps": {
-                        str(run): {
-                            "bp": encode_array(pair["bp"]),
-                            "roi": encode_array(pair["roi"]),
-                        }
+                        str(run): {"bp": pair["bp"], "roi": pair["roi"]}
                         for run, pair in entry["reps"].items()
                     },
                 }
@@ -427,13 +423,10 @@ class MeasureStage(Stage):
             "measurements",
             {
                 name: {
-                    "means": decode_array(entry["means"]),
-                    "reference": decode_array(entry["reference"]),
+                    "means": entry["means"],
+                    "reference": entry["reference"],
                     "reps": {
-                        int(run): {
-                            "bp": decode_array(pair["bp"]),
-                            "roi": decode_array(pair["roi"]),
-                        }
+                        int(run): {"bp": pair["bp"], "roi": pair["roi"]}
                         for run, pair in entry["reps"].items()
                     },
                 }

@@ -117,6 +117,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print scheduler statistics to stderr",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage wall-time / bytes-encoded / bytes-decoded "
+        "table after the run (backed by the stage store's counters)",
+    )
     return parser
 
 
@@ -219,17 +225,20 @@ def main(argv: list[str] | None = None) -> int:
             result = module.run(config)
         print(result.render())
 
-    if args.verbose:
+    if args.verbose or args.profile:
         from repro.exec.stagestore import stage_store_for
 
         # Worker-process counter deltas are merged back into this
         # process's store by the scheduler, so the stage-cache summary
-        # is accurate on every backend, processes included.
-        print(f"[scheduler] {scheduler.stats.describe()}", file=sys.stderr)
-        print(
-            f"[stage-cache] {stage_store_for(config).stats.describe()}",
-            file=sys.stderr,
-        )
+        # and the profile table are accurate on every backend,
+        # processes included.
+        stats = stage_store_for(config).stats
+        if args.verbose:
+            print(f"[scheduler] {scheduler.stats.describe()}", file=sys.stderr)
+            print(f"[stage-cache] {stats.describe()}", file=sys.stderr)
+        if args.profile:
+            print()
+            print(stats.profile_table())
     return 0
 
 

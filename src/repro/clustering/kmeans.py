@@ -42,10 +42,20 @@ class KMeansResult:
         return int(self.centers.shape[0])
 
 
-def _squared_distances(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
-    """``(n, k)`` squared Euclidean distances (BLAS-friendly form)."""
+def _squared_distances(
+    data: np.ndarray, centers: np.ndarray, data_sq: np.ndarray | None = None
+) -> np.ndarray:
+    """``(n, k)`` squared Euclidean distances (BLAS-friendly form).
+
+    ``data_sq`` memoises ``(data**2).sum(axis=1)``: the k-means++ loop
+    and every Lloyd iteration call this with the *same* points, and
+    reusing the identical computed array is bit-identical to
+    recomputing it while skipping the dominant O(n·d) term.
+    """
+    if data_sq is None:
+        data_sq = (data**2).sum(axis=1)
     d2 = (
-        (data**2).sum(axis=1)[:, None]
+        data_sq[:, None]
         - 2.0 * data @ centers.T
         + (centers**2).sum(axis=1)[None, :]
     )
@@ -53,14 +63,20 @@ def _squared_distances(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
 
 
 def _kmeanspp_init(
-    data: np.ndarray, weights: np.ndarray, k: int, gen: np.random.Generator
+    data: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    gen: np.random.Generator,
+    data_sq: np.ndarray | None = None,
 ) -> np.ndarray:
     """k-means++ seeding with probability ∝ weight × squared distance."""
     n = data.shape[0]
+    if data_sq is None:
+        data_sq = (data**2).sum(axis=1)
     centers = np.empty((k, data.shape[1]))
     first = gen.choice(n, p=weights / weights.sum())
     centers[0] = data[first]
-    closest = _squared_distances(data, centers[:1])[:, 0]
+    closest = _squared_distances(data, centers[:1], data_sq)[:, 0]
     for j in range(1, k):
         scores = weights * closest
         total = scores.sum()
@@ -69,7 +85,9 @@ def _kmeanspp_init(
         else:
             idx = int(gen.choice(n, p=scores / total))
         centers[j] = data[idx]
-        closest = np.minimum(closest, _squared_distances(data, centers[j : j + 1])[:, 0])
+        closest = np.minimum(
+            closest, _squared_distances(data, centers[j : j + 1], data_sq)[:, 0]
+        )
     return centers
 
 
@@ -127,12 +145,13 @@ def _lloyd(
     max_iter: int,
     tol: float,
 ) -> KMeansResult:
-    centers = _kmeanspp_init(data, weights, k, gen)
+    data_sq = (data**2).sum(axis=1)
+    centers = _kmeanspp_init(data, weights, k, gen, data_sq)
     labels = np.zeros(data.shape[0], dtype=np.int64)
     prev_inertia = np.inf
     iteration = 0
     for iteration in range(1, max_iter + 1):
-        d2 = _squared_distances(data, centers)
+        d2 = _squared_distances(data, centers, data_sq)
         labels = d2.argmin(axis=1)
         inertia = float((weights * d2[np.arange(data.shape[0]), labels]).sum())
 
@@ -151,7 +170,7 @@ def _lloyd(
             break
         prev_inertia = inertia
 
-    d2 = _squared_distances(data, centers)
+    d2 = _squared_distances(data, centers, data_sq)
     labels = d2.argmin(axis=1)
     inertia = float((weights * d2[np.arange(data.shape[0]), labels]).sum())
     return KMeansResult(labels=labels, centers=centers, inertia=inertia, iterations=iteration)

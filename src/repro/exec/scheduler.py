@@ -64,22 +64,48 @@ class SchedulerStats:
         )
 
 
-def _execute_item(item: tuple[StudyRequest, object]):
-    """Picklable worker entry point: one (request, config) pair.
+#: Payloads whose array mass exceeds this ride back from worker
+#: processes as a file handle (content-addressed store or spill area)
+#: instead of pickled bytes over the result pipe.
+LARGE_PAYLOAD_BYTES = 64 * 1024
 
-    Returns ``(payload, pid, stage_stats_delta)``: the stage-cache
-    counter increments this cell produced travel back alongside the
-    payload, because under the ``processes`` backend they land in a
-    worker-local :func:`stage_store_for` memo the parent can't see.
-    The pid lets the scheduler recognise (and skip re-merging) deltas
-    produced in its own process — serial/thread backends, and a process
-    pool that inlined the work, already incremented the shared store.
+#: Result markers for the reference transport.
+_INLINE, _STORED, _SPILLED = "inline", "stored", "spilled"
+
+
+def _execute_item(item: tuple[StudyRequest, object, int]):
+    """Picklable worker entry point: one (request, config, parent_pid).
+
+    Returns ``((transport, value), pid, stage_stats_delta)``:
+
+    * the stage-cache counter increments this cell produced travel back
+      alongside the payload, because under the ``processes`` backend
+      they land in a worker-local :func:`stage_store_for` memo the
+      parent can't see — the pid lets the scheduler recognise (and skip
+      re-merging) deltas produced in its own process;
+    * a *large* payload computed in a foreign process does not ride the
+      pickle pipe.  Cacheable cells are written to the content-addressed
+      :class:`~repro.exec.store.StudyStore` (where the scheduler would
+      persist them anyway) and announced as ``("stored", None)``;
+      uncacheable kinds spill to a columnar hand-off file announced as
+      ``("spilled", path)``.  The scheduler reattaches either via mmap.
     """
-    request, config = item
+    from repro.api.codec import payload_nbytes  # lazy: avoids api↔exec cycle
+
+    request, config, parent_pid = item
     stats = stage_store_for(config).stats
     before = stats.snapshot()
     payload = execute_request(request, config)
-    return payload, os.getpid(), stats.delta_since(before)
+    result = (_INLINE, payload)
+    if os.getpid() != parent_pid and payload_nbytes(payload) > LARGE_PAYLOAD_BYTES:
+        store = StudyStore(config.cache_dir, config)
+        if store.enabled:
+            if request.kind in CELL_LEVEL_UNCACHED:
+                result = (_SPILLED, store.spill(request, payload))
+            else:
+                store.store(request, payload)
+                result = (_STORED, None)
+    return result, os.getpid(), stats.delta_since(before)
 
 
 class StudyScheduler:
@@ -136,18 +162,29 @@ class StudyScheduler:
                 missing.append(request)
 
         if missing:
-            items = [(request, self.config) for request in missing]
-            results = self.backend.map(_execute_item, items)
             parent_pid = os.getpid()
+            items = [(request, self.config, parent_pid) for request in missing]
+            results = self.backend.map(_execute_item, items)
             parent_stats = stage_store_for(self.config).stats
-            for request, (payload, pid, delta) in zip(missing, results):
+            for request, ((transport, value), pid, delta) in zip(missing, results):
                 if pid != parent_pid:
                     # Cell ran in a worker process: fold its stage-cache
                     # traffic into this process's counters so --verbose
                     # sees it.  Same-pid cells already incremented them.
                     parent_stats.merge(delta)
+                if transport == _STORED:
+                    # Worker persisted the payload content-addressed;
+                    # reattach via mmap.  A torn entry (killed worker)
+                    # degrades to recomputing the cell here.
+                    payload = self.store.load(request)
+                    if payload is None:  # pragma: no cover - crash path
+                        payload = execute_request(request, self.config)
+                elif transport == _SPILLED:
+                    payload = self.store.reclaim(value)
+                else:
+                    payload = value
                 self._memory[request] = payload
-                if request.kind not in CELL_LEVEL_UNCACHED:
+                if request.kind not in CELL_LEVEL_UNCACHED and transport != _STORED:
                     self.store.store(request, payload)
             self.stats.executed += len(missing)
 

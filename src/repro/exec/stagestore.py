@@ -8,17 +8,26 @@ digest of everything upstream, so a ``maxK`` change relocates the
 cluster/select/measure entries while the profile and signature entries
 keep their addresses — a re-run reuses them and only clusters onward.
 
-Hit/miss counters are kept per stage name (:class:`StageCacheStats`);
-the stage-invalidation tests assert cache behaviour through them, and
-``--verbose`` prints them after a run.  :func:`stage_store_for` memoises
-one store per cache directory within a process so those counters are
-observable wherever cells execute in-process (serial/thread backends).
-Under the ``processes`` backend the counters increment in *worker*
-processes; the scheduler ships each cell's counter delta
-(:meth:`StageCacheStats.snapshot` → :meth:`StageCacheStats.delta_since`)
-back with the cell payload and merges it into the parent's store
-(:meth:`StageCacheStats.merge`), so ``--verbose`` reports the same
-traffic regardless of backend.
+Payloads are stored as binary columnar containers
+(:mod:`repro.exec.columnar`): the JSON-shaped metadata stays JSON inside
+the header while every array rides as contiguous little-endian segments,
+decoded zero-copy through one mmap.  ``REPRO_FORCE_LEGACY_CODEC=1``
+switches new entries back to the base64-inside-JSON plane (and, through
+:func:`~repro.exec.store.cache_version`, to disjoint addresses — the two
+formats never collide on disk).
+
+Hit/miss counters are kept per stage name (:class:`StageCacheStats`),
+now alongside profiling counters: bytes encoded/decoded and wall time
+spent running, loading and storing each stage.  ``--verbose`` prints the
+hit summary and ``--profile`` the full table after a run.
+:func:`stage_store_for` memoises one store per cache directory within a
+process so those counters are observable wherever cells execute
+in-process (serial/thread backends).  Under the ``processes`` backend
+the counters increment in *worker* processes; the scheduler ships each
+cell's counter delta (:meth:`StageCacheStats.snapshot` →
+:meth:`StageCacheStats.delta_since`) back with the cell payload and
+merges it into the parent's store (:meth:`StageCacheStats.merge`), so
+both reports are accurate regardless of backend.
 """
 
 from __future__ import annotations
@@ -26,11 +35,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.exec.store import CACHE_VERSION, read_json, write_json_atomic
+from repro.exec.columnar import read_payload_file, write_payload_atomic
+from repro.exec.store import cache_version, read_json, write_json_atomic
 
 __all__ = [
     "StageCacheStats",
@@ -55,16 +66,42 @@ def chain_digest(parent: str, stage_name: str, cache_key: dict) -> str:
 
 def base_digest(**identity) -> str:
     """Root of a digest chain (workload/threads/vectorised/seed...)."""
-    blob = json.dumps({"cache_version": CACHE_VERSION, **identity}, sort_keys=True)
+    blob = json.dumps({"cache_version": cache_version(), **identity}, sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: The counter families one stats object tracks; snapshot/delta/merge
+#: treat them uniformly so new counters can never silently miss the
+#: process-boundary round trip.
+_COUNTER_NAMES = (
+    "hits",
+    "misses",
+    "bytes_decoded",
+    "bytes_encoded",
+    "run_seconds",
+    "load_seconds",
+    "store_seconds",
+)
 
 
 @dataclass
 class StageCacheStats:
-    """Per-stage hit/miss counters of one :class:`StageStore`."""
+    """Per-stage cache and profiling counters of one :class:`StageStore`.
+
+    ``hits``/``misses`` count cache lookups; ``bytes_decoded``/
+    ``bytes_encoded`` the container bytes read and written per stage;
+    ``run_seconds``/``load_seconds``/``store_seconds`` the wall time
+    spent executing, decoding and persisting each stage.  All seven
+    travel across the ``processes`` backend as one delta.
+    """
 
     hits: Counter = field(default_factory=Counter)
     misses: Counter = field(default_factory=Counter)
+    bytes_decoded: Counter = field(default_factory=Counter)
+    bytes_encoded: Counter = field(default_factory=Counter)
+    run_seconds: Counter = field(default_factory=Counter)
+    load_seconds: Counter = field(default_factory=Counter)
+    store_seconds: Counter = field(default_factory=Counter)
 
     def hit_count(self, stage: str) -> int:
         """Cache hits recorded for one stage name."""
@@ -74,14 +111,21 @@ class StageCacheStats:
         """Cache misses recorded for one stage name."""
         return self.misses[stage]
 
+    def record_run(self, stage: str, seconds: float) -> None:
+        """Account one live execution of a stage."""
+        self.run_seconds[stage] += seconds
+
     def reset(self) -> None:
         """Zero every counter (tests isolate phases with this)."""
-        self.hits.clear()
-        self.misses.clear()
+        for name in _COUNTER_NAMES:
+            getattr(self, name).clear()
 
     def snapshot(self) -> dict:
         """JSON-shaped copy of the current counters."""
-        return {"hits": dict(self.hits), "misses": dict(self.misses)}
+        # Under the threads backend several workers share these
+        # counters; dict(...) is an atomic C-level copy, so a concurrent
+        # insert can't resize a dict under a Python-level loop.
+        return {name: dict(getattr(self, name)) for name in _COUNTER_NAMES}
 
     def delta_since(self, snapshot: dict) -> dict:
         """Counter increments since a :meth:`snapshot` (JSON-shaped).
@@ -90,28 +134,21 @@ class StageCacheStats:
         only that cell's traffic travels back over the pickle boundary,
         no matter how many cells the worker has already served.
         """
-        # Under the threads backend several workers share these
-        # counters; take an atomic C-level copy (dict(...)) before
-        # iterating so a concurrent insert can't resize the dict under
-        # the Python-level loop.
         current = self.snapshot()
-        return {
-            "hits": {
-                stage: count - snapshot["hits"].get(stage, 0)
-                for stage, count in current["hits"].items()
-                if count != snapshot["hits"].get(stage, 0)
-            },
-            "misses": {
-                stage: count - snapshot["misses"].get(stage, 0)
-                for stage, count in current["misses"].items()
-                if count != snapshot["misses"].get(stage, 0)
-            },
-        }
+        delta = {}
+        for name in _COUNTER_NAMES:
+            base = snapshot.get(name, {})
+            delta[name] = {
+                stage: count - base.get(stage, 0)
+                for stage, count in current[name].items()
+                if count != base.get(stage, 0)
+            }
+        return delta
 
     def merge(self, delta: dict) -> None:
         """Fold one worker's counter delta into these counters."""
-        self.hits.update(delta.get("hits", {}))
-        self.misses.update(delta.get("misses", {}))
+        for name in _COUNTER_NAMES:
+            getattr(self, name).update(delta.get(name, {}))
 
     def describe(self) -> str:
         """One-line summary for verbose CLI output."""
@@ -121,9 +158,59 @@ class StageCacheStats:
         parts = [f"{s}:{self.hits[s]}/{self.hits[s] + self.misses[s]}" for s in stages]
         return "stage cache hits " + " ".join(parts)
 
+    def profile_table(self) -> str:
+        """Per-stage wall-time / bytes table (the ``--profile`` report)."""
+        from repro.util.tables import render_table
+
+        stages = sorted(
+            set().union(*(getattr(self, name) for name in _COUNTER_NAMES))
+        )
+        if not stages:
+            return "no stage activity recorded"
+        rows = []
+        for stage in stages:
+            rows.append(
+                (
+                    stage,
+                    f"{self.run_seconds[stage]:.3f}",
+                    f"{self.hits[stage]}/{self.hits[stage] + self.misses[stage]}",
+                    f"{self.load_seconds[stage]:.3f}",
+                    _human_bytes(self.bytes_decoded[stage]),
+                    f"{self.store_seconds[stage]:.3f}",
+                    _human_bytes(self.bytes_encoded[stage]),
+                )
+            )
+        totals = (
+            "total",
+            f"{sum(self.run_seconds.values()):.3f}",
+            f"{sum(self.hits.values())}/"
+            f"{sum(self.hits.values()) + sum(self.misses.values())}",
+            f"{sum(self.load_seconds.values()):.3f}",
+            _human_bytes(sum(self.bytes_decoded.values())),
+            f"{sum(self.store_seconds.values()):.3f}",
+            _human_bytes(sum(self.bytes_encoded.values())),
+        )
+        return render_table(
+            ("Stage", "Run (s)", "Hits", "Load (s)", "Decoded", "Store (s)", "Encoded"),
+            rows + [totals],
+            title="Stage profile",
+        )
+
+
+def _human_bytes(n: int) -> str:
+    n = int(n)
+    for unit in ("B", "KiB", "MiB"):
+        if n < 1024:
+            return f"{n} {unit}" if unit == "B" else f"{n:.0f} {unit}"
+        n_next = n / 1024
+        if unit == "MiB":  # pragma: no cover - payloads never reach GiB
+            return f"{n_next:.1f} GiB"
+        n = n_next
+    return f"{n:.0f} GiB"  # pragma: no cover
+
 
 class StageStore:
-    """Digest-addressed JSON payload cache with per-stage counters.
+    """Digest-addressed columnar payload cache with per-stage counters.
 
     Parameters
     ----------
@@ -142,16 +229,51 @@ class StageStore:
         """Whether a cache directory is configured."""
         return self._dir is not None
 
+    @staticmethod
+    def _legacy() -> bool:
+        from repro.api.codec import legacy_codec_forced
+
+        return legacy_codec_forced()
+
     def path(self, digest: str, stage_name: str) -> Path | None:
-        """Cache file for one stage digest (None when disabled)."""
+        """Cache file for one stage digest (None when disabled).
+
+        The suffix tracks the active codec — ``.rpb`` containers by
+        default, ``.json`` when the legacy codec is forced — and the
+        filename embeds :func:`~repro.exec.store.cache_version`, so a
+        codec flip can never address (or half-decode) the other
+        format's entries.
+        """
         if self._dir is None:
             return None
-        return self._dir / f"v{CACHE_VERSION}_{stage_name}_{digest[:24]}.json"
+        suffix = "json" if self._legacy() else "rpb"
+        return self._dir / f"v{cache_version()}_{stage_name}_{digest[:24]}.{suffix}"
 
     def load(self, digest: str, stage_name: str):
-        """Stored payload for a stage digest, or None on miss/corruption."""
+        """Stored payload for a stage digest, or None on miss/corruption.
+
+        Containers decode zero-copy: arrays in the returned payload are
+        read-only mmap views.  Legacy JSON entries decode through the
+        base64 plane.  Either way the payload tree carries plain
+        ``np.ndarray`` leaves.
+        """
         path = self.path(digest, stage_name)
-        payload = read_json(path) if path is not None else None
+        payload = None
+        if path is not None:
+            started = time.perf_counter()
+            if self._legacy():
+                raw = read_json(path)
+                if raw is not None:
+                    from repro.api.codec import payload_from_jsonable
+
+                    payload = payload_from_jsonable(raw)
+                    self.stats.bytes_decoded[stage_name] += path.stat().st_size
+            else:
+                loaded = read_payload_file(path)
+                if loaded is not None:
+                    payload, nbytes = loaded
+                    self.stats.bytes_decoded[stage_name] += nbytes
+            self.stats.load_seconds[stage_name] += time.perf_counter() - started
         if payload is None:
             self.stats.misses[stage_name] += 1
         else:
@@ -159,10 +281,23 @@ class StageStore:
         return payload
 
     def store(self, digest: str, stage_name: str, payload) -> None:
-        """Atomically persist one stage payload."""
+        """Atomically persist one stage payload (container or legacy JSON)."""
         path = self.path(digest, stage_name)
-        if path is not None:
-            write_json_atomic(path, payload)
+        if path is None:
+            return
+        started = time.perf_counter()
+        if self._legacy():
+            from repro.api.codec import payload_to_jsonable
+
+            write_json_atomic(path, payload_to_jsonable(payload))
+            nbytes = path.stat().st_size
+        else:
+            # durable=False: a torn container self-heals as a cache miss
+            # on the next read, so stage entries trade the fsync (which
+            # would dominate cold writes at hundreds of MiB) for speed.
+            nbytes = write_payload_atomic(path, payload, durable=False)
+        self.stats.bytes_encoded[stage_name] += nbytes
+        self.stats.store_seconds[stage_name] += time.perf_counter() - started
 
 
 _STORES: dict[str, StageStore] = {}
@@ -173,7 +308,8 @@ def stage_store_for(config) -> StageStore:
 
     Sharing one instance per directory makes the hit counters meaningful
     across every cell executed in this process, which is what the CLI
-    ``--verbose`` summary and the invalidation tests read.
+    ``--verbose``/``--profile`` summaries and the invalidation tests
+    read.
     """
     key = str(config.cache_dir or "")
     if key not in _STORES:

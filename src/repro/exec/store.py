@@ -26,6 +26,7 @@ from repro.exec.request import StudyRequest
 
 __all__ = [
     "CACHE_VERSION",
+    "cache_version",
     "config_fingerprint",
     "request_digest",
     "StudyStore",
@@ -34,7 +35,20 @@ __all__ = [
 ]
 
 #: Bump when payload contents or the underlying models change shape.
-CACHE_VERSION = 5
+CACHE_VERSION = 6
+
+
+def cache_version() -> str:
+    """The full cache version: payload schema **and** codec.
+
+    Both halves are part of every cache filename and digest, so a codec
+    bump (or forcing the legacy codec via ``REPRO_FORCE_LEGACY_CODEC``)
+    relocates every entry instead of asking the new reader to decode an
+    old format — stale entries are simply never addressed again.
+    """
+    from repro.api.codec import active_codec_version  # lazy: avoids api↔exec cycle
+
+    return f"{CACHE_VERSION}.{active_codec_version()}"
 
 
 def read_json(path: Path):
@@ -56,13 +70,18 @@ def read_json(path: Path):
 
 
 def write_json_atomic(path: Path, payload) -> None:
-    """Atomically persist one JSON payload (temp file + rename)."""
+    """Atomically persist one JSON payload (temp file + fsync + rename)."""
     path.parent.mkdir(parents=True, exist_ok=True)
     text = json.dumps(payload, indent=1, sort_keys=True)
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            handle.flush()
+            # fsync before rename: os.replace is atomic in the namespace
+            # but only durable once the temp file's data has hit disk —
+            # without it a power cut can leave the *renamed* entry empty.
+            os.fsync(handle.fileno())
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -84,7 +103,7 @@ def config_fingerprint(config) -> str:
     never what they compute.
     """
     blob = json.dumps(
-        {"cache_version": CACHE_VERSION, "pipeline": asdict(config.pipeline_config())},
+        {"cache_version": cache_version(), "pipeline": asdict(config.pipeline_config())},
         sort_keys=True,
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -133,24 +152,102 @@ class StudyStore:
             return None
         digest = request_digest(request, self.fingerprint)
         name = (
-            f"v{CACHE_VERSION}_{request.kind}_{request.app}"
+            f"v{cache_version()}_{request.kind}_{request.app}"
             f"_t{request.threads}_{digest[:20]}.json"
         )
         return self._dir / name
 
+    def _container_path(self, path: Path) -> Path:
+        return path.with_suffix(".rpb")
+
     def load(self, request: StudyRequest):
         """Stored payload for a request, or None on miss/corruption.
 
+        Scalar payloads live in the JSON plane; an array-bearing payload
+        (written by :meth:`store` or a worker's reference transport)
+        lives in a columnar container next to it and decodes zero-copy.
         A corrupt entry is removed so the slot can be rewritten cleanly.
         """
         path = self.path(request)
         if path is None:
             return None
-        return read_json(path)
+        from repro.api.codec import legacy_codec_forced, payload_from_jsonable
+
+        if legacy_codec_forced():
+            raw = read_json(path)
+            return None if raw is None else payload_from_jsonable(raw)
+        payload = read_json(path)
+        if payload is not None:
+            return payload
+        from repro.exec.columnar import read_payload_file
+
+        loaded = read_payload_file(self._container_path(path))
+        return None if loaded is None else loaded[0]
 
     def store(self, request: StudyRequest, payload) -> None:
-        """Atomically persist one cell payload (temp file + rename)."""
+        """Atomically persist one cell payload (temp file + rename).
+
+        JSON for scalar/metadata payloads; any :class:`numpy.ndarray`
+        in the tree routes the whole payload to a binary columnar
+        container instead (legacy codec: base64-inside-JSON).
+        """
         path = self.path(request)
         if path is None:
             return
-        write_json_atomic(path, payload)
+        from repro.api.codec import (
+            legacy_codec_forced,
+            payload_has_arrays,
+            payload_to_jsonable,
+        )
+
+        if legacy_codec_forced():
+            write_json_atomic(path, payload_to_jsonable(payload))
+        elif payload_has_arrays(payload):
+            from repro.exec.columnar import write_payload_atomic
+
+            write_payload_atomic(self._container_path(path), payload)
+        else:
+            write_json_atomic(path, payload)
+
+    # ------------------------------------------------- process transport
+    def spill_path(self, request: StudyRequest) -> Path | None:
+        """Hand-off file for one uncacheable cell's payload (see below)."""
+        if self._dir is None:
+            return None
+        digest = request_digest(request, self.fingerprint)
+        return self._dir / "spill" / f"{request.kind}_{digest[:24]}_{os.getpid()}.rpb"
+
+    def spill(self, request: StudyRequest, payload) -> str | None:
+        """Write one payload to the spill area; returns the path.
+
+        The ``processes`` backend ships large payloads as file handles
+        instead of pickled bytes: the worker spills (columnar container,
+        so arrays stay binary), the scheduler reattaches via
+        :meth:`reclaim` — an mmap read plus one unlink, not a pickle of
+        megabytes over a pipe.  Cacheable cells don't need this (they
+        travel through :meth:`store`/:meth:`load`); the spill area
+        serves the :data:`~repro.exec.cells.CELL_LEVEL_UNCACHED` kinds.
+        """
+        from repro.exec.columnar import write_payload_atomic
+
+        path = self.spill_path(request)
+        if path is None:
+            return None
+        # durable=False: a spill file lives for one scheduler round trip
+        # within one machine boot; crash-durability buys nothing.
+        write_payload_atomic(path, payload, durable=False)
+        return str(path)
+
+    def reclaim(self, path: str):
+        """Reattach one spilled payload (mmap read) and delete the file."""
+        from repro.exec.columnar import read_payload_file
+
+        loaded = read_payload_file(Path(path))
+        if loaded is None:
+            raise RuntimeError(f"spilled payload vanished or was torn: {path}")
+        payload, _ = loaded
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return payload

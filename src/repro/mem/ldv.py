@@ -136,18 +136,33 @@ def pattern_ldv_rows(
     footprint_scale = np.asarray(footprint_scale, dtype=float)
     hot_scale = np.asarray(hot_scale, dtype=float)
     n_inst = footprint_scale.shape[0]
-    rows = np.zeros((n_inst, N_DISTANCE_BINS), dtype=float)
 
     fp = np.asarray(
         pattern.per_thread_footprint_lines(threads, scale=1.0) * footprint_scale
     )
     hot_frac = np.clip(pattern.hot_fraction * hot_scale, 0.0, 1.0)
 
-    inst_idx = np.arange(n_inst)
+    # One (component, instance) bin/weight pair per scattered add, then a
+    # single weighted bincount over flattened (instance, bin) indices.
+    # Components are laid out in the same order the per-component
+    # ``np.add.at`` loop used, and bincount accumulates its input
+    # sequentially, so the float additions happen in the identical order
+    # — the rows are bit-identical to the scalar assembly's.
+    bins_per_component: list[np.ndarray] = []
+    weights_per_component: list[np.ndarray] = []
     for weight, distance in hot_distances(pattern.hot_lines):
-        bins = bin_of_distance(np.full(n_inst, distance))
-        np.add.at(rows, (inst_idx, bins), weight * hot_frac)
+        bins_per_component.append(bin_of_distance(np.full(n_inst, distance)))
+        weights_per_component.append(weight * hot_frac)
     for weight, distances in characteristic_distances(pattern.kind, fp):
-        bins = bin_of_distance(distances)
-        np.add.at(rows, (inst_idx, bins), weight * (1.0 - hot_frac))
-    return rows
+        bins_per_component.append(bin_of_distance(np.broadcast_to(distances, (n_inst,))))
+        weights_per_component.append(weight * (1.0 - hot_frac))
+
+    inst_idx = np.arange(n_inst, dtype=np.int64)
+    flat = np.concatenate(
+        [inst_idx * N_DISTANCE_BINS + bins for bins in bins_per_component]
+    )
+    weights = np.concatenate(
+        [np.broadcast_to(w, (n_inst,)) for w in weights_per_component]
+    )
+    rows = np.bincount(flat, weights=weights, minlength=n_inst * N_DISTANCE_BINS)
+    return rows.reshape(n_inst, N_DISTANCE_BINS)

@@ -7,19 +7,44 @@ cache of ``C`` lines hits iff its stack distance is ``< C`` — this is the
 classic property that lets BarrierPoint's LDVs characterise memory
 behaviour independently of any particular cache.
 
-The implementation is the standard Fenwick-tree (binary indexed tree)
-formulation of Bennett & Kruskal / Olken: maintain a 0/1 marker per time
-step for "this position is the most recent access to its line"; the
-distance of an access at time ``i`` whose line was last touched at time
-``j`` is the number of markers strictly between ``j`` and ``i``.
-Complexity is O(N log N) for a stream of N accesses.
+Two implementations, bit-identical by construction and by test:
+
+* :func:`reuse_distances_fenwick` — the standard Fenwick-tree (binary
+  indexed tree) formulation of Bennett & Kruskal / Olken: maintain a 0/1
+  marker per time step for "this position is the most recent access to
+  its line"; the distance of an access at time ``i`` whose line was last
+  touched at time ``j`` is the number of markers strictly between ``j``
+  and ``i``.  O(N log N) — but every one of those operations is a
+  Python-interpreter step, the per-access pattern the Pin-tool
+  literature moved off decades ago.  Kept as the golden oracle.
+
+* :func:`reuse_distances_vectorised` (the default behind
+  :func:`reuse_distances`) — an argsort/merge-counting formulation.
+  With ``prev[i]`` the previous access to ``i``'s line, the identity
+
+      distance(i) = (i - prev[i] - 1) - #{q < i : prev[q] > prev[i]}
+
+  holds because a position ``p`` in the open window ``(prev[i], i)``
+  fails to contribute a *distinct* line exactly when its next access
+  ``q = next[p]`` also lands in the window — and those ``q`` are
+  precisely the warm accesses before ``i`` whose own ``prev`` lies
+  inside the window.  The correction term is a per-element
+  previous-greater count over the warm ``prev`` sequence — an inversion
+  count, computed by a bottom-up mergesort whose per-level merge is one
+  ``np.lexsort`` over (run id, value): O(N log² N) work but ~log N
+  vectorised passes instead of N interpreted steps.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["reuse_distances", "reuse_histogram"]
+__all__ = [
+    "reuse_distances",
+    "reuse_distances_fenwick",
+    "reuse_distances_vectorised",
+    "reuse_histogram",
+]
 
 #: Sentinel distance for cold (first-touch) accesses.
 COLD = -1
@@ -50,22 +75,16 @@ class _Fenwick:
         return total
 
 
-def reuse_distances(lines: np.ndarray) -> np.ndarray:
-    """Exact LRU stack distance of every access in a line-address stream.
-
-    Parameters
-    ----------
-    lines:
-        1-D integer array of cache-line identifiers, in access order.
-
-    Returns
-    -------
-    numpy.ndarray
-        ``int64`` array of the same length; cold accesses are ``-1``.
-    """
+def _check_stream(lines: np.ndarray) -> np.ndarray:
     lines = np.asarray(lines)
     if lines.ndim != 1:
         raise ValueError(f"lines must be 1-D, got shape {lines.shape}")
+    return lines
+
+
+def reuse_distances_fenwick(lines: np.ndarray) -> np.ndarray:
+    """Golden-oracle scalar implementation (see module docstring)."""
+    lines = _check_stream(lines)
     n = lines.size
     distances = np.empty(n, dtype=np.int64)
     tree = _Fenwick(n)
@@ -83,6 +102,97 @@ def reuse_distances(lines: np.ndarray) -> np.ndarray:
         tree.add(i, +1)
         last_seen[line] = i
     return distances
+
+
+def _previous_occurrence(lines: np.ndarray) -> np.ndarray:
+    """``prev[i]`` = index of the last earlier access to ``lines[i]``'s
+    line, or -1 for a first touch (vectorised via one grouping argsort)."""
+    n = lines.size
+    order = np.lexsort((np.arange(n), lines))  # group by line, time ascending
+    grouped = lines[order]
+    prev = np.full(n, -1, dtype=np.int64)
+    same_line = grouped[1:] == grouped[:-1]
+    prev[order[1:][same_line]] = order[:-1][same_line]
+    return prev
+
+
+def _count_previous_greater(values: np.ndarray) -> np.ndarray:
+    """``c[t]`` = #{s < t : values[s] > values[t]} for each position.
+
+    Bottom-up merge counting: at each level, elements are (virtually)
+    merged in runs of ``2 * width`` by one stable ``np.lexsort`` on
+    (run id, value); a right-half element preceded by ``L`` left-half
+    elements in the merged order has exactly ``left_size - L`` greater
+    left-half elements — stability breaks value ties in favour of the
+    left half, keeping the count strict.
+    """
+    n = values.size
+    counts = np.zeros(n, dtype=np.int64)
+    if n < 2:
+        return counts
+    index = np.arange(n)
+    width = 1
+    while width < n:
+        run = index // (2 * width)
+        in_right = (index // width) % 2 == 1
+        order = np.lexsort((values, run))
+        run_sorted = run[order]
+        right_sorted = in_right[order]
+
+        first_in_run = np.empty(n, dtype=bool)
+        first_in_run[0] = True
+        first_in_run[1:] = run_sorted[1:] != run_sorted[:-1]
+        run_start = np.maximum.accumulate(np.where(first_in_run, index, 0))
+        pos_in_merged = index - run_start
+
+        cum_right = np.cumsum(right_sorted)
+        right_before_run = np.maximum.accumulate(
+            np.where(first_in_run, cum_right - right_sorted, 0)
+        )
+        pos_in_right = cum_right - right_sorted - right_before_run
+
+        left_size = np.minimum(width, n - run_sorted * 2 * width)
+        left_before = pos_in_merged - pos_in_right
+        right_mask = right_sorted
+        counts[order[right_mask]] += (left_size - left_before)[right_mask]
+        width *= 2
+    return counts
+
+
+def reuse_distances_vectorised(lines: np.ndarray) -> np.ndarray:
+    """Vectorised exact stack distances (see module docstring)."""
+    lines = _check_stream(lines)
+    n = lines.size
+    distances = np.full(n, COLD, dtype=np.int64)
+    if n == 0:
+        return distances
+    prev = _previous_occurrence(lines)
+    warm = prev >= 0
+    if not warm.any():
+        return distances
+    warm_idx = np.flatnonzero(warm)
+    warm_prev = prev[warm_idx]
+    # Each position is ``prev`` of at most one access, so the values are
+    # distinct and the previous-greater count is tie-free.
+    corrections = _count_previous_greater(warm_prev)
+    distances[warm_idx] = warm_idx - warm_prev - 1 - corrections
+    return distances
+
+
+def reuse_distances(lines: np.ndarray) -> np.ndarray:
+    """Exact LRU stack distance of every access in a line-address stream.
+
+    Parameters
+    ----------
+    lines:
+        1-D integer array of cache-line identifiers, in access order.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array of the same length; cold accesses are ``-1``.
+    """
+    return reuse_distances_vectorised(lines)
 
 
 def reuse_histogram(distances: np.ndarray, n_bins: int) -> np.ndarray:

@@ -47,13 +47,10 @@ def _cold_indices(
         take_random = gen.random(n) < 0.5
         return np.where(take_random, random, sequential)
     if kind is PatternKind.POINTER_CHASE:
-        perm = gen.permutation(footprint)
-        walk = np.empty(n, dtype=np.int64)
-        node = 0
-        for i in range(n):
-            walk[i] = perm[node]
-            node = (node + 1) % footprint
-        return walk
+        # The chase walks nodes 0, 1, 2, ... through a fixed random
+        # permutation, so the whole walk is one gather: perm[i mod F].
+        perm = gen.permutation(footprint).astype(np.int64, copy=False)
+        return perm[positions % footprint]
     raise ValueError(f"unhandled pattern kind {kind!r}")
 
 

@@ -142,3 +142,104 @@ class TestStudyRunnerFacade:
         StudyRunner(config, scheduler=scheduler).study("MCB", 1)
         StudyRunner(config, scheduler=scheduler).study("MCB", 1)
         assert scheduler.stats.executed == 1
+
+
+class TestReferenceTransport:
+    """Large payloads computed in worker processes ride back as file
+    handles (content-addressed store or spill area), not pickled bytes."""
+
+    def _item(self, request, tmp_path, parent_pid):
+        return (request, _config(cache_dir=str(tmp_path)), parent_pid)
+
+    def test_large_uncached_payload_spills(self, tmp_path, monkeypatch):
+        import numpy as np
+
+        from repro.exec import cells, scheduler as sched
+
+        request = crossarch_request("MCB", 2)
+        big = {"big": np.arange(50_000, dtype=np.float64)}
+        monkeypatch.setitem(cells.CELL_KINDS, "crossarch", "unused:unused")
+        monkeypatch.setattr(cells, "_RESOLVED", {"crossarch": lambda r, c: big})
+        monkeypatch.setattr(
+            cells, "CELL_LEVEL_UNCACHED", frozenset({"crossarch"})
+        )
+        monkeypatch.setattr(
+            sched, "CELL_LEVEL_UNCACHED", frozenset({"crossarch"})
+        )
+        # parent_pid -1 simulates "running in a foreign worker process".
+        (transport, value), pid, _ = sched._execute_item(
+            self._item(request, tmp_path, -1)
+        )
+        assert transport == "spilled"
+        assert value is not None and "spill" in value
+
+        config = _config(cache_dir=str(tmp_path))
+        store = sched.StudyStore(config.cache_dir, config)
+        reclaimed = store.reclaim(value)
+        assert np.array_equal(reclaimed["big"], big["big"])
+        import os
+
+        assert not os.path.exists(value)
+
+    def test_large_cacheable_payload_rides_the_store(self, tmp_path, monkeypatch):
+        import numpy as np
+
+        from repro.exec import cells, scheduler as sched
+
+        request = crossarch_request("MCB", 2)
+        big = {"big": np.arange(50_000, dtype=np.float64)}
+        monkeypatch.setattr(cells, "_RESOLVED", {"crossarch": lambda r, c: big})
+        (transport, value), pid, _ = sched._execute_item(
+            self._item(request, tmp_path, -1)
+        )
+        assert transport == "stored" and value is None
+        config = _config(cache_dir=str(tmp_path))
+        store = sched.StudyStore(config.cache_dir, config)
+        assert np.array_equal(store.load(request)["big"], big["big"])
+
+    def test_small_or_local_payloads_stay_inline(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.exec import cells, scheduler as sched
+
+        request = crossarch_request("MCB", 2)
+        small = {"n": 1}
+        monkeypatch.setattr(cells, "_RESOLVED", {"crossarch": lambda r, c: small})
+        # Foreign pid but tiny payload: inline.
+        (transport, value), _, _ = sched._execute_item(
+            self._item(request, tmp_path, -1)
+        )
+        assert transport == "inline" and value == small
+        # Large payload but same pid (inlined pool): inline.
+        import numpy as np
+
+        big = {"big": np.arange(50_000, dtype=np.float64)}
+        monkeypatch.setattr(cells, "_RESOLVED", {"crossarch": lambda r, c: big})
+        (transport, value), _, _ = sched._execute_item(
+            self._item(request, tmp_path, os.getpid())
+        )
+        assert transport == "inline"
+
+    def test_scheduler_reattaches_stored_payloads(self, tmp_path, monkeypatch):
+        """End-to-end: a backend double returning 'stored' results."""
+        import numpy as np
+
+        from repro.exec import cells, scheduler as sched
+
+        big = {"big": np.arange(50_000, dtype=np.float64)}
+        monkeypatch.setattr(cells, "_RESOLVED", {"crossarch": lambda r, c: big})
+
+        class ForeignBackend:
+            name, jobs = "double", 1
+
+            def map(self, fn, items):
+                # Re-tag each item with a fake parent pid so the worker
+                # side takes the reference transport, as a real process
+                # pool would.
+                return [fn((req, cfg, -1)) for req, cfg, _ in items]
+
+        config = _config(cache_dir=str(tmp_path))
+        scheduler = StudyScheduler(config, backend=ForeignBackend())
+        request = crossarch_request("MCB", 2)
+        results = scheduler.run([request])
+        assert np.array_equal(results[request]["big"], big["big"])

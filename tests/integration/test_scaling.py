@@ -174,7 +174,10 @@ class TestProcessBackendStageStats:
         stats.hits["profile"] += 1
         stats.misses["cluster"] += 4
         delta = stats.delta_since(before)
-        assert delta == {"hits": {"profile": 1}, "misses": {"cluster": 4}}
+        assert delta["hits"] == {"profile": 1}
+        assert delta["misses"] == {"cluster": 4}
+        # Profiling counter families ride the same delta (empty here).
+        assert delta["bytes_decoded"] == {} and delta["run_seconds"] == {}
 
         other = StageCacheStats()
         other.merge(delta)

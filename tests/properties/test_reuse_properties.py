@@ -5,9 +5,35 @@ from hypothesis import given, settings, strategies as st
 
 from repro.mem.cache import CacheSimulator
 from repro.mem.ldv import N_DISTANCE_BINS, bin_of_distance
-from repro.mem.reuse import reuse_distances, reuse_histogram
+from repro.mem.reuse import (
+    reuse_distances,
+    reuse_distances_fenwick,
+    reuse_distances_vectorised,
+    reuse_histogram,
+)
 
 line_streams = st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=300)
+
+
+@given(line_streams)
+@settings(max_examples=120)
+def test_vectorised_equals_fenwick_oracle(lines):
+    """The argsort/merge-count formulation must match the golden
+    Fenwick implementation element-for-element on arbitrary streams."""
+    arr = np.asarray(lines)
+    assert np.array_equal(
+        reuse_distances_vectorised(arr), reuse_distances_fenwick(arr)
+    )
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(1, 2000))
+@settings(max_examples=25, deadline=None)
+def test_vectorised_equals_fenwick_on_wide_random_streams(seed, size):
+    gen = np.random.default_rng(seed)
+    arr = gen.integers(0, max(1, size // 3), size=size)
+    assert np.array_equal(
+        reuse_distances_vectorised(arr), reuse_distances_fenwick(arr)
+    )
 
 
 @given(line_streams)

@@ -5,7 +5,12 @@ import pytest
 
 from repro.mem.cache import CacheSimulator, HierarchySimulator
 from repro.mem.ldv import N_DISTANCE_BINS
-from repro.mem.reuse import reuse_distances, reuse_histogram
+from repro.mem.reuse import (
+    reuse_distances,
+    reuse_distances_fenwick,
+    reuse_distances_vectorised,
+    reuse_histogram,
+)
 
 
 class TestReuseDistances:
@@ -49,6 +54,50 @@ class TestReuseDistances:
     def test_rejects_2d_input(self):
         with pytest.raises(ValueError):
             reuse_distances(np.zeros((2, 2), dtype=int))
+        with pytest.raises(ValueError):
+            reuse_distances_fenwick(np.zeros((2, 2), dtype=int))
+
+    def test_default_is_the_vectorised_path(self):
+        lines = np.array([1, 2, 3, 1, 2, 3])
+        assert np.array_equal(
+            reuse_distances(lines), reuse_distances_vectorised(lines)
+        )
+
+
+class TestVectorisedAgainstFenwickOracle:
+    """Adversarial equivalence: the merge-count formulation must match
+    the golden Fenwick implementation on the streams that stress it."""
+
+    @pytest.mark.parametrize(
+        "label,lines",
+        [
+            ("empty", np.array([], dtype=np.int64)),
+            ("single", np.array([7])),
+            ("all_same", np.zeros(1024, dtype=np.int64)),
+            ("all_distinct", np.arange(1024)),
+            ("sawtooth", np.tile(np.arange(17), 61)),
+            ("reverse_sawtooth", np.tile(np.arange(17)[::-1], 61)),
+            ("zigzag", np.abs(np.arange(-512, 512))),
+            ("two_phase", np.r_[np.arange(100), np.arange(100), np.zeros(100, int)]),
+            ("power_of_two", np.tile(np.arange(16), 64)),
+            ("off_power_of_two", np.tile(np.arange(15), 68)),
+        ],
+    )
+    def test_adversarial_streams(self, label, lines):
+        assert np.array_equal(
+            reuse_distances_vectorised(lines), reuse_distances_fenwick(lines)
+        ), label
+
+    def test_random_streams(self):
+        gen = np.random.default_rng(2017)
+        for _ in range(25):
+            size = int(gen.integers(1, 700))
+            spread = int(gen.integers(1, 80))
+            lines = gen.integers(0, spread, size=size)
+            assert np.array_equal(
+                reuse_distances_vectorised(lines),
+                reuse_distances_fenwick(lines),
+            )
 
 
 class TestReuseHistogram:
