@@ -12,8 +12,11 @@ Three sections land in the JSON:
 * ``kernels``   — microbenchmarks of the vectorised kernels the sweep
   leans on: BBV/signature accumulation, the exact set-associative LRU
   simulator's lockstep path, the columnar payload codec
-  (encode/decode round trip through a real container file), and the
-  vectorised exact reuse-distance engine;
+  (encode/decode round trip through a real container file), the
+  vectorised exact reuse-distance engine, and the two *streamed*
+  kernels at paper scale (10⁷-access streams): the tiled
+  reuse-distance engine and the tiled cache simulator, each checked
+  bit-identical against its monolithic oracle on a shared prefix;
 * ``meta``      — scale, python/numpy versions, cpu count.
 
 ``benchmarks/check_regression.py`` compares a fresh report against the
@@ -203,6 +206,112 @@ def bench_reuse_kernel() -> dict:
     }
 
 
+#: Stream length of the streamed-kernel microbenches.  Deliberately
+#: paper-scale (10⁷ accesses): the whole point of the tiled kernels is
+#: throughput *at* the lengths the monolithic paths choke on, so the
+#: committed baseline carries the at-scale numbers even on the smoke
+#: grid.
+STREAM_ACCESSES = 10_000_000
+
+#: Monolithic-oracle reference prefix: long enough for a meaningful
+#: reference throughput, short enough that the O(n·distinct)-ish oracle
+#: doesn't dominate CI wall time.
+REFERENCE_PREFIX = 1_000_000
+
+
+def _streamed_bench_stream(n: int) -> np.ndarray:
+    """The streamed-kernel bench stream: 60% hot lines, 40% cold sweep.
+
+    Mixes a 4096-line hot set with a 2M-line cold footprint — hot reuse
+    exercises the fast hit paths, the cold mass the eviction/compose
+    machinery.  Seeded, so the miss counts below are stable constants.
+    """
+    rng = np.random.default_rng(1)
+    hot = np.arange(n, dtype=np.int64) % 4096
+    cold = rng.integers(0, 2_000_000, size=n)
+    pick = rng.random(n) < 0.6
+    return np.where(pick, hot, 4096 + cold)
+
+
+def bench_reuse_streamed() -> dict:
+    """Microbenchmark: tiled reuse-distance engine at paper scale.
+
+    Times the carried-state streaming engine over a 10⁷-access stream,
+    then the monolithic golden oracle over a 10⁶ prefix, and asserts
+    the two are bit-identical on that prefix.  The monolithic engine's
+    throughput *degrades* with stream length (its per-call sort spans
+    the whole history), so the recorded speedup is a lower bound on the
+    at-scale one.
+    """
+    from repro.mem.reuse import reuse_distances_vectorised
+    from repro.mem.streaming import reuse_distances_streamed
+
+    lines = _streamed_bench_stream(STREAM_ACCESSES)
+    reuse_distances_streamed(lines[:100_000])  # touch the code paths once
+    t0 = time.perf_counter()
+    distances = reuse_distances_streamed(lines)
+    seconds = time.perf_counter() - t0
+
+    prefix = lines[:REFERENCE_PREFIX]
+    t0 = time.perf_counter()
+    reference = reuse_distances_vectorised(prefix)
+    ref_seconds = time.perf_counter() - t0
+    assert np.array_equal(distances[: prefix.size], reference), (
+        "streamed reuse distances diverged from the monolithic oracle"
+    )
+    per_second = lines.size / seconds
+    ref_per_second = prefix.size / ref_seconds
+    return {
+        "accesses": int(lines.size),
+        "cold": int((distances < 0).sum()),
+        "accesses_per_second": round(per_second),
+        "reference_accesses": int(prefix.size),
+        "reference_accesses_per_second": round(ref_per_second),
+        "speedup_vs_reference": round(per_second / ref_per_second, 2),
+    }
+
+
+def bench_cache_tiled() -> dict:
+    """Microbenchmark: tiled set-associative LRU at paper scale.
+
+    Times the carried-state tile path (packed uint64 fast path with
+    lockstep fallback) over a 10⁷-access stream on an L2-like geometry
+    (2 MiB, 8-way), then the monolithic lockstep path over a 10⁶ prefix
+    and asserts identical miss counts on that prefix.
+    """
+    from repro.mem.cache import CacheSimulator
+    from repro.mem.streaming import iter_array_tiles
+
+    lines = _streamed_bench_stream(STREAM_ACCESSES)
+    cache = CacheSimulator(2 * 1024 * 1024, 8)
+    cache.simulate_tiled(iter_array_tiles(lines[:100_000]))  # warm
+    cache = CacheSimulator(2 * 1024 * 1024, 8)
+    t0 = time.perf_counter()
+    result = cache.simulate_tiled(iter_array_tiles(lines))
+    seconds = time.perf_counter() - t0
+
+    prefix = lines[:REFERENCE_PREFIX]
+    reference_cache = CacheSimulator(2 * 1024 * 1024, 8)
+    t0 = time.perf_counter()
+    reference_misses = int(reference_cache.miss_mask(prefix).sum())
+    ref_seconds = time.perf_counter() - t0
+    prefix_cache = CacheSimulator(2 * 1024 * 1024, 8)
+    prefix_result = prefix_cache.simulate_tiled(iter_array_tiles(prefix))
+    assert prefix_result.misses == reference_misses, (
+        "tiled cache misses diverged from the monolithic oracle"
+    )
+    per_second = lines.size / seconds
+    ref_per_second = prefix.size / ref_seconds
+    return {
+        "accesses": int(result.accesses),
+        "misses": int(result.misses),
+        "accesses_per_second": round(per_second),
+        "reference_accesses": int(prefix.size),
+        "reference_accesses_per_second": round(ref_per_second),
+        "speedup_vs_reference": round(per_second / ref_per_second, 2),
+    }
+
+
 def calibration_score() -> float:
     """Machine-speed proxy: fixed numpy workload, higher = faster host.
 
@@ -257,6 +366,8 @@ def main(argv: list[str] | None = None) -> int:
             "cache_lockstep": bench_cache_kernel(),
             "payload_codec": bench_codec_kernel(),
             "reuse_distances": bench_reuse_kernel(),
+            "reuse_streamed": bench_reuse_streamed(),
+            "cache_tiled": bench_cache_tiled(),
         },
     }
     text = json.dumps(report, indent=2)

@@ -14,6 +14,7 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro coretypes       # future work: in-order vs out-of-order
     repro scaling         # strong-scaling grid: threads x machines
     repro ranks           # distributed-memory grid: ranks x machines
+    repro trace           # streamed exact traces (out-of-core tiles)
     repro all             # every artefact from one scheduled pass
     repro workloads       # registered workload plugins ('list' is an alias)
     repro machines        # registered machine plugins
@@ -38,7 +39,7 @@ from repro.exec.backends import BACKEND_NAMES
 from repro.exec.scheduler import StudyScheduler
 from repro.experiments import coalesce, coretypes, figure1, figure2, limitations
 from repro.experiments import ranks, scaling, table1, table2, table3, table4
-from repro.experiments import variability
+from repro.experiments import trace, variability
 from repro.experiments.config import SCALES, default_config
 
 __all__ = ["main"]
@@ -57,6 +58,7 @@ _EXPERIMENTS = {
     "coretypes": coretypes,
     "scaling": scaling,
     "ranks": ranks,
+    "trace": trace,
 }
 
 
@@ -110,6 +112,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "cache",
     )
     parser.add_argument(
+        "--trace-tile-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="accesses per streamed-trace tile (default 1048576); "
+        "execution-only — bounds the streaming kernels' peak memory "
+        "without changing any computed number",
+    )
+    parser.add_argument(
+        "--trace-accesses",
+        type=int,
+        default=None,
+        metavar="N",
+        help="accesses per streamed-trace cell (default: 10^7 at full "
+        "scale, 200k at quick scale)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk study cache"
     )
     parser.add_argument(
@@ -135,13 +154,28 @@ def _config_from_args(args: argparse.Namespace):
         overrides["seed"] = args.seed
     if args.no_cache:
         overrides["cache_dir"] = ""
+    if getattr(args, "trace_tile_size", None) is not None:
+        if args.trace_tile_size < 1:
+            raise SystemExit(
+                f"error: --trace-tile-size must be >= 1, got {args.trace_tile_size}"
+            )
+        overrides["trace_tile_size"] = args.trace_tile_size
+    if getattr(args, "trace_accesses", None) is not None:
+        if args.trace_accesses < 0:
+            raise SystemExit(
+                f"error: --trace-accesses must be >= 0, got {args.trace_accesses}"
+            )
+        overrides["trace_accesses"] = args.trace_accesses
+    config = default_config(scale, **overrides)
     if getattr(args, "max_k", None) is not None:
         from dataclasses import replace as _replace
 
-        from repro.clustering.simpoint import SimPointOptions
-
-        overrides["simpoint"] = _replace(SimPointOptions(), max_k=args.max_k)
-    return default_config(scale, **overrides)
+        # Layer the cap on the *scale's* simpoint options rather than a
+        # fresh SimPointOptions(): the scale may have picked e.g. a
+        # different clustering algorithm, and --max-k must not silently
+        # reset it.
+        config = _replace(config, simpoint=_replace(config.simpoint, max_k=args.max_k))
+    return config
 
 
 def _print_registry(which: str) -> None:

@@ -1,0 +1,139 @@
+"""Mini-batch k-means: web-scale clustering for paper-scale grids.
+
+Lloyd's algorithm touches every signature every iteration; at paper
+scale (LULESH: ~9,840 barrier points × 10 discovery runs × a k sweep)
+that full-data pass dominates the clustering stage.  Mini-batch k-means
+(Sculley, WWW 2010) replaces it with small random batches and per-center
+convex updates — each center moves toward its batch mean with a
+learning rate that decays as the center accumulates weight, so the
+stream of batches converges to a fixed point near the Lloyd optimum at
+a fraction of the touched-point count.
+
+Determinism is non-negotiable here (the whole repository reproduces
+bit-identically from one seed), so the batch order is drawn from the
+caller's seeded generator and nothing else: same seed, same batches,
+same centers, same labels — on every backend and at every ``--jobs``.
+The exact sweep (:func:`repro.clustering.kmeans.kmeans`) stays the
+golden oracle: the quick-scale protocol keeps using it, and the tests
+bound the mini-batch inertia against the exact inertia on shared
+inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.kmeans import (
+    KMeansResult,
+    _kmeanspp_init,
+    _squared_distances,
+    kmeans,
+)
+
+__all__ = ["minibatch_kmeans"]
+
+#: Below this point count a mini-batch covers the data anyway; the exact
+#: solver is both faster and the oracle, so small inputs use it directly.
+_EXACT_FALLBACK = 4
+
+
+def minibatch_kmeans(
+    data: np.ndarray,
+    k: int,
+    gen: np.random.Generator,
+    weights: np.ndarray | None = None,
+    batch_size: int = 1024,
+    n_init: int = 2,
+    max_batches: int = 100,
+    tol: float = 1e-4,
+) -> KMeansResult:
+    """Cluster ``data`` with seeded, deterministic mini-batch k-means.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` points (already projected).
+    k:
+        Cluster count; must not exceed ``n``.
+    gen:
+        Seeded generator — sole source of batch order and seeding, so
+        the result is a pure function of (data, k, weights, seed).
+    weights:
+        Optional ``(n,)`` non-negative point weights.
+    batch_size:
+        Points per batch; when the data is at most ``_EXACT_FALLBACK``
+        batches small, the exact solver runs instead (it is cheaper and
+        exactly reproduces the oracle the tests compare against).
+    n_init / max_batches / tol:
+        Restarts, batch-step cap per restart, and the center-shift
+        Frobenius norm below which a restart stops early.
+
+    Returns
+    -------
+    KMeansResult
+        Final labels/centers from one full assignment pass, with the
+        same weighted inertia definition as the exact solver.
+    """
+    data = np.asarray(data, dtype=float)
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if n <= _EXACT_FALLBACK * batch_size:
+        return kmeans(data, k, gen, weights=weights, n_init=n_init)
+    if weights is None:
+        weights = np.ones(n)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (n,) or np.any(weights < 0) or weights.sum() == 0:
+            raise ValueError("weights must be (n,) non-negative with positive sum")
+
+    data_sq = (data**2).sum(axis=1)
+    best: KMeansResult | None = None
+    for _ in range(max(n_init, 1)):
+        # Seed on a batch-sized random subsample: k-means++ on the full
+        # data would reintroduce the O(n·k) pass this solver avoids.
+        seed_idx = gen.choice(n, size=min(n, max(batch_size, 8 * k)), replace=False)
+        centers = _kmeanspp_init(
+            data[seed_idx], weights[seed_idx], k, gen, data_sq[seed_idx]
+        )
+        counts = np.zeros(k)
+        steps = 0
+        for steps in range(1, max_batches + 1):
+            batch_idx = gen.integers(0, n, size=batch_size)
+            batch = data[batch_idx]
+            batch_w = weights[batch_idx]
+            labels = _squared_distances(
+                batch, centers, data_sq[batch_idx]
+            ).argmin(axis=1)
+            np.add.at(counts, labels, batch_w)
+            sums = np.zeros_like(centers)
+            np.add.at(sums, labels, batch_w[:, None] * batch)
+            batch_weight = np.bincount(labels, weights=batch_w, minlength=k)
+            hit = batch_weight > 0
+            # Per-center convex step toward the batch mean; the rate
+            # decays as 1/accumulated-weight (Sculley's update), which
+            # is what makes the stream of noisy batch means converge.
+            eta = np.zeros(k)
+            eta[hit] = batch_weight[hit] / counts[hit]
+            target = np.where(
+                hit[:, None], sums / np.maximum(batch_weight, 1e-300)[:, None], centers
+            )
+            moved = centers + eta[:, None] * (target - centers)
+            shift = float(np.sqrt(((moved - centers) ** 2).sum()))
+            centers = moved
+            if shift <= tol:
+                break
+        # One full assignment pass defines labels and inertia exactly
+        # as the oracle does, so inertias are directly comparable.
+        d2 = _squared_distances(data, centers, data_sq)
+        labels = d2.argmin(axis=1)
+        inertia = float((weights * d2[np.arange(n), labels]).sum())
+        result = KMeansResult(
+            labels=labels, centers=centers, inertia=inertia, iterations=steps
+        )
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

@@ -32,6 +32,7 @@ CELL_KINDS: dict[str, str] = {
     "coretypes": "repro.experiments.coretypes:coretype_cell",
     "scaling": "repro.experiments.scaling:scaling_cell",
     "ranks": "repro.experiments.ranks:rank_cell",
+    "trace": "repro.experiments.trace:trace_cell",
 }
 
 #: Cell kinds excluded from the cell-level StudyStore.  Scaling and

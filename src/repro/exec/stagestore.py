@@ -35,6 +35,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import resource
+import sys
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -70,10 +72,10 @@ def base_digest(**identity) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-#: The counter families one stats object tracks; snapshot/delta/merge
-#: treat them uniformly so new counters can never silently miss the
-#: process-boundary round trip.
-_COUNTER_NAMES = (
+#: The additive counter families one stats object tracks; snapshot/
+#: delta/merge treat them uniformly so new counters can never silently
+#: miss the process-boundary round trip.
+_SUM_COUNTER_NAMES = (
     "hits",
     "misses",
     "bytes_decoded",
@@ -83,6 +85,16 @@ _COUNTER_NAMES = (
     "store_seconds",
 )
 
+#: High-water-mark families: snapshotted with the rest but merged with
+#: ``max`` instead of ``+`` — a peak observed by two workers is one
+#: peak, not their sum.
+_MAX_COUNTER_NAMES = ("rss_peak_kib",)
+
+_COUNTER_NAMES = _SUM_COUNTER_NAMES + _MAX_COUNTER_NAMES
+
+#: ``ru_maxrss`` unit: kibibytes on Linux, bytes on macOS.
+_RU_MAXRSS_TO_KIB = 1024 if sys.platform == "darwin" else 1
+
 
 @dataclass
 class StageCacheStats:
@@ -91,8 +103,13 @@ class StageCacheStats:
     ``hits``/``misses`` count cache lookups; ``bytes_decoded``/
     ``bytes_encoded`` the container bytes read and written per stage;
     ``run_seconds``/``load_seconds``/``store_seconds`` the wall time
-    spent executing, decoding and persisting each stage.  All seven
-    travel across the ``processes`` backend as one delta.
+    spent executing, decoding and persisting each stage.
+    ``rss_peak_kib`` is the process ``ru_maxrss`` high-water mark
+    observed right after each stage's live execution — the streaming
+    kernels exist to bound it, and the ``--profile`` table is where
+    that bound becomes visible.  All families travel across the
+    ``processes`` backend as one delta; the additive ones merge with
+    ``+``, the high-water one with ``max``.
     """
 
     hits: Counter = field(default_factory=Counter)
@@ -102,6 +119,7 @@ class StageCacheStats:
     run_seconds: Counter = field(default_factory=Counter)
     load_seconds: Counter = field(default_factory=Counter)
     store_seconds: Counter = field(default_factory=Counter)
+    rss_peak_kib: Counter = field(default_factory=Counter)
 
     def hit_count(self, stage: str) -> int:
         """Cache hits recorded for one stage name."""
@@ -112,8 +130,17 @@ class StageCacheStats:
         return self.misses[stage]
 
     def record_run(self, stage: str, seconds: float) -> None:
-        """Account one live execution of a stage."""
+        """Account one live execution of a stage (time + RSS peak)."""
         self.run_seconds[stage] += seconds
+        self.record_rss(stage)
+
+    def record_rss(self, stage: str) -> None:
+        """Fold the current ``ru_maxrss`` into a stage's RSS high-water."""
+        kib = (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // _RU_MAXRSS_TO_KIB
+        )
+        if kib > self.rss_peak_kib[stage]:
+            self.rss_peak_kib[stage] = kib
 
     def reset(self) -> None:
         """Zero every counter (tests isolate phases with this)."""
@@ -136,19 +163,33 @@ class StageCacheStats:
         """
         current = self.snapshot()
         delta = {}
-        for name in _COUNTER_NAMES:
+        for name in _SUM_COUNTER_NAMES:
             base = snapshot.get(name, {})
             delta[name] = {
                 stage: count - base.get(stage, 0)
                 for stage, count in current[name].items()
                 if count != base.get(stage, 0)
             }
+        for name in _MAX_COUNTER_NAMES:
+            # High-water marks don't subtract: the delta is simply the
+            # worker's current peak, and merge() takes the max.
+            base = snapshot.get(name, {})
+            delta[name] = {
+                stage: value
+                for stage, value in current[name].items()
+                if value != base.get(stage, 0)
+            }
         return delta
 
     def merge(self, delta: dict) -> None:
         """Fold one worker's counter delta into these counters."""
-        for name in _COUNTER_NAMES:
+        for name in _SUM_COUNTER_NAMES:
             getattr(self, name).update(delta.get(name, {}))
+        for name in _MAX_COUNTER_NAMES:
+            counter = getattr(self, name)
+            for stage, value in delta.get(name, {}).items():
+                if value > counter[stage]:
+                    counter[stage] = value
 
     def describe(self) -> str:
         """One-line summary for verbose CLI output."""
@@ -178,6 +219,7 @@ class StageCacheStats:
                     _human_bytes(self.bytes_decoded[stage]),
                     f"{self.store_seconds[stage]:.3f}",
                     _human_bytes(self.bytes_encoded[stage]),
+                    _human_rss(self.rss_peak_kib[stage]),
                 )
             )
         totals = (
@@ -189,12 +231,35 @@ class StageCacheStats:
             _human_bytes(sum(self.bytes_decoded.values())),
             f"{sum(self.store_seconds.values()):.3f}",
             _human_bytes(sum(self.bytes_encoded.values())),
+            # A high-water mark totals as a max, not a sum.
+            _human_rss(max(self.rss_peak_kib.values(), default=0)),
         )
         return render_table(
-            ("Stage", "Run (s)", "Hits", "Load (s)", "Decoded", "Store (s)", "Encoded"),
+            (
+                "Stage",
+                "Run (s)",
+                "Hits",
+                "Load (s)",
+                "Decoded",
+                "Store (s)",
+                "Encoded",
+                "Peak RSS",
+            ),
             rows + [totals],
             title="Stage profile",
         )
+
+
+def _human_rss(kib: int) -> str:
+    """Render an RSS high-water mark ('-' when never recorded)."""
+    if kib <= 0:
+        return "-"
+    if kib < 1024:
+        return f"{int(kib)} KiB"
+    mib = kib / 1024
+    if mib < 1024:
+        return f"{mib:.0f} MiB"
+    return f"{mib / 1024:.1f} GiB"
 
 
 def _human_bytes(n: int) -> str:

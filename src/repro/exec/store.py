@@ -35,7 +35,7 @@ __all__ = [
 ]
 
 #: Bump when payload contents or the underlying models change shape.
-CACHE_VERSION = 6
+CACHE_VERSION = 7
 
 
 def cache_version() -> str:
@@ -239,15 +239,20 @@ class StudyStore:
         return str(path)
 
     def reclaim(self, path: str):
-        """Reattach one spilled payload (mmap read) and delete the file."""
-        from repro.exec.columnar import read_payload_file
+        """Reattach one spilled payload (mmap read) and delete the file.
+
+        Deletion goes through the columnar open-handle guard: a spilled
+        payload may be (or reference) a tiled trace container that a
+        live :class:`~repro.exec.columnar.TraceTileReader` is still
+        iterating, and reclaiming it mid-read must defer the unlink
+        until that reader's final ``close()`` instead of yanking tiles
+        out from under its mapping.
+        """
+        from repro.exec.columnar import read_payload_file, unlink_when_closed
 
         loaded = read_payload_file(Path(path))
         if loaded is None:
             raise RuntimeError(f"spilled payload vanished or was torn: {path}")
         payload, _ = loaded
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
+        unlink_when_closed(path)
         return payload

@@ -47,6 +47,18 @@ class ExperimentConfig:
         (``serial``, ``threads``, ``processes``; None picks
         ``processes`` when ``jobs > 1``).  Execution-only — neither
         affects any computed number nor the cache fingerprint.
+    trace_accesses:
+        Accesses per streamed-trace cell (the ``trace`` artefact).  Part
+        of each trace request's identity (cache-addressed through the
+        request params), scaled with the protocol: the quick grid stays
+        smoke-test sized, the full grid runs paper-scale 10⁷-access
+        streams out of core.
+    trace_tile_size:
+        Tile length the streaming kernels consume.  Execution-only:
+        every streamed kernel is bit-identical across tile sizes (the
+        stream itself is generated in fixed granules — see
+        :data:`repro.mem.streams.GEN_BLOCK`), so this knob bounds peak
+        memory without entering the cache fingerprint.
     """
 
     thread_counts: tuple[int, ...] = (1, 2, 4, 8)
@@ -58,6 +70,8 @@ class ExperimentConfig:
     bbv_weight: float = 0.5
     jobs: int = 1
     backend: str | None = None
+    trace_accesses: int = 10_000_000
+    trace_tile_size: int = 1 << 20
 
     def pipeline_config(self) -> PipelineConfig:
         """The per-configuration pipeline parameters."""
@@ -88,9 +102,21 @@ def default_config(scale: str | None = None, **overrides) -> ExperimentConfig:
         scale = os.environ.get("REPRO_SCALE", "full")
     scale = scale.lower()
     if scale == "quick":
-        base = ExperimentConfig(thread_counts=(1, 8), discovery_runs=3, repetitions=5)
+        base = ExperimentConfig(
+            thread_counts=(1, 8),
+            discovery_runs=3,
+            repetitions=5,
+            trace_accesses=200_000,
+        )
     elif scale == "full":
-        base = ExperimentConfig()
+        # Paper-scale signature matrices make Lloyd's full-data passes
+        # the clustering bottleneck; the full protocol clusters with
+        # seeded mini-batch k-means while quick scale keeps the exact
+        # solver as the golden oracle (tests bound one against the
+        # other on shared inputs).
+        base = ExperimentConfig(
+            simpoint=SimPointOptions(algorithm="minibatch"),
+        )
     else:
         raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
     return replace(base, **overrides) if overrides else base

@@ -19,7 +19,12 @@ Both paths share one source of truth for a pattern's reuse structure:
 :func:`repro.mem.ldv.characteristic_distances`.
 """
 
-from repro.mem.cache import CacheSimulator, HierarchySimulator, SimulatedMisses
+from repro.mem.cache import (
+    CacheSimulator,
+    CacheTileState,
+    HierarchySimulator,
+    SimulatedMisses,
+)
 from repro.mem.hierarchy import (
     effective_capacity_lines,
     miss_fraction,
@@ -35,13 +40,24 @@ from repro.mem.ldv import (
     pattern_ldv_rows,
 )
 from repro.mem.reuse import reuse_distances, reuse_histogram
+from repro.mem.streaming import (
+    ReuseStreamState,
+    iter_array_tiles,
+    reuse_distances_streamed,
+    reuse_histogram_streamed,
+)
 from repro.mem.streams import generate_stream
 
 __all__ = [
     "reuse_distances",
     "reuse_histogram",
+    "reuse_distances_streamed",
+    "reuse_histogram_streamed",
+    "ReuseStreamState",
+    "iter_array_tiles",
     "generate_stream",
     "CacheSimulator",
+    "CacheTileState",
     "HierarchySimulator",
     "SimulatedMisses",
     "N_DISTANCE_BINS",

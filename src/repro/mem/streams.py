@@ -18,9 +18,16 @@ import numpy as np
 
 from repro.ir.memory import MemoryPattern, PatternKind
 
-__all__ = ["generate_stream"]
+__all__ = ["generate_stream", "iter_stream_tiles", "GEN_BLOCK"]
 
 _STRIDE_LINES = 7  # co-prime with power-of-two footprints → full coverage
+
+#: Fixed generation granule of :func:`iter_stream_tiles`.  The tiled
+#: generator reseeds a child generator per granule, so the stream is a
+#: pure function of (pattern, n_accesses, seed) — **independent of the
+#: consumer's tile size**, which therefore stays an execution-only knob
+#: that can never change a computed number.
+GEN_BLOCK = 1 << 16
 
 
 def _cold_indices(
@@ -104,3 +111,118 @@ def generate_stream(
     out[is_hot] = hot_stream
     out[~is_hot] = cold_stream
     return out
+
+
+def _cold_block(
+    kind: PatternKind,
+    positions: np.ndarray,
+    footprint: int,
+    gen: np.random.Generator,
+    perm: np.ndarray | None,
+) -> np.ndarray:
+    """One granule of cold-population offsets at *global* cold positions.
+
+    Deterministic kinds index by global position (so the sweep/stencil
+    front carries across granules); stochastic kinds draw from the
+    granule's child generator.
+    """
+    n = positions.size
+    if kind is PatternKind.STREAM:
+        return positions % footprint
+    if kind is PatternKind.STRIDED:
+        return (positions * _STRIDE_LINES) % footprint
+    if kind is PatternKind.STENCIL:
+        row = max(int(np.sqrt(footprint)), 1)
+        offsets = np.array([0, 1, -1, row, -row], dtype=np.int64)
+        base = positions // 5
+        return (base + offsets[positions % 5]) % footprint
+    if kind is PatternKind.RANDOM:
+        return gen.integers(0, footprint, size=n, dtype=np.int64)
+    if kind is PatternKind.GATHER:
+        sequential = positions % footprint
+        random = gen.integers(0, footprint, size=n, dtype=np.int64)
+        take_random = gen.random(n) < 0.5
+        return np.where(take_random, random, sequential)
+    if kind is PatternKind.POINTER_CHASE:
+        return perm[positions % footprint]
+    raise ValueError(f"unhandled pattern kind {kind!r}")
+
+
+def iter_stream_tiles(
+    pattern: MemoryPattern,
+    n_accesses: int,
+    seed: int,
+    tile_size: int,
+    threads: int = 1,
+    footprint_scale: float = 1.0,
+    hot_scale: float = 1.0,
+):
+    """Generate an access stream tile by tile in bounded memory.
+
+    The out-of-core counterpart of :func:`generate_stream`: yields
+    ``int64`` line tiles of ``tile_size`` accesses (last tile short)
+    whose concatenation is a deterministic function of
+    ``(pattern, n_accesses, seed, threads, scales)`` only.  Generation
+    happens in fixed :data:`GEN_BLOCK` granules, each from a child
+    generator seeded ``[seed, granule_index]`` with hot/cold sweep
+    counters carried across granules — so two consumers with different
+    ``tile_size`` see bit-identical streams, and peak memory is
+    ``O(tile_size + GEN_BLOCK)`` regardless of ``n_accesses``.
+
+    The stream is *not* the same realisation :func:`generate_stream`
+    draws for one shared generator (the monolithic path consumes its
+    RNG in one pass); equivalence of the two paths is asserted where it
+    matters — the streaming *kernels* are bit-identical to the
+    monolithic kernels on any common stream.
+    """
+    if n_accesses < 0:
+        raise ValueError(f"n_accesses must be non-negative, got {n_accesses}")
+    if tile_size < 1:
+        raise ValueError(f"tile_size must be positive, got {tile_size}")
+    hot_lines = max(int(round(pattern.hot_lines)), 1)
+    footprint = max(
+        int(round(pattern.per_thread_footprint_lines(threads, scale=footprint_scale))),
+        1,
+    )
+    hot_fraction = float(np.clip(pattern.hot_fraction * hot_scale, 0.0, 1.0))
+    perm = None
+    if pattern.kind is PatternKind.POINTER_CHASE:
+        # One fixed permutation for the whole stream, like the
+        # monolithic path; drawn from a reserved child seed so granule
+        # generators stay aligned with their granule index.
+        perm = (
+            np.random.default_rng([seed, 0x9E3779B9])
+            .permutation(footprint)
+            .astype(np.int64, copy=False)
+        )
+
+    buffer: list[np.ndarray] = []
+    buffered = 0
+    hot_seen = 0
+    cold_seen = 0
+    for granule in range(0, n_accesses, GEN_BLOCK):
+        nb = min(GEN_BLOCK, n_accesses - granule)
+        gen = np.random.default_rng([seed, granule // GEN_BLOCK])
+        is_hot = gen.random(nb) < hot_fraction
+        n_hot = int(np.count_nonzero(is_hot))
+        n_cold = nb - n_hot
+        hot_stream = (hot_seen + np.arange(n_hot, dtype=np.int64)) % hot_lines
+        cold_positions = cold_seen + np.arange(n_cold, dtype=np.int64)
+        cold_stream = hot_lines + _cold_block(
+            pattern.kind, cold_positions, footprint, gen, perm
+        )
+        hot_seen += n_hot
+        cold_seen += n_cold
+        block = np.empty(nb, dtype=np.int64)
+        block[is_hot] = hot_stream
+        block[~is_hot] = cold_stream
+        buffer.append(block)
+        buffered += nb
+        while buffered >= tile_size:
+            chunk = np.concatenate(buffer) if len(buffer) > 1 else buffer[0]
+            yield chunk[:tile_size]
+            rest = chunk[tile_size:]
+            buffer = [rest] if rest.size else []
+            buffered = rest.size
+    if buffered:
+        yield np.concatenate(buffer) if len(buffer) > 1 else buffer[0]
