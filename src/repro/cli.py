@@ -19,6 +19,8 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro workloads       # registered workload plugins ('list' is an alias)
     repro machines        # registered machine plugins
     repro stages          # registered pipeline stages
+    repro serve           # always-on artifact service (JSON over HTTP)
+    repro client          # command-line client for a running daemon
 
 ``--scale quick`` (or the ``--quick`` shorthand) shrinks the protocol
 (3 discovery runs, 5 repetitions) for a fast look; the default
@@ -208,6 +210,16 @@ def _print_registry(which: str) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # The serve/client subcommands have their own option namespaces
+    # (ports, budgets...), so they dispatch before the experiment parser.
+    if argv and argv[0] in ("serve", "client"):
+        from repro.serve.cli import client_main, serve_main
+
+        runner = serve_main if argv[0] == "serve" else client_main
+        return runner(argv[1:])
+
     args = _build_parser().parse_args(argv)
 
     if args.jobs < 1:

@@ -33,6 +33,7 @@ import mmap
 import os
 import struct
 import tempfile
+import weakref
 from pathlib import Path
 
 import numpy as np
@@ -189,6 +190,15 @@ def read_payload_file(path: Path) -> tuple[object, int] | None:
                 buffer, dtype=dtype, count=nbytes // dtype.itemsize, offset=offset
             )
             arrays.append(view.reshape(shape))
+        if any(array.nbytes for array in arrays):
+            # The decoded payload aliases the mapping through zero-copy
+            # views.  Register the mapping in the open-reader registry —
+            # exactly like a TraceTileReader — so reclaim/eviction defer
+            # deletion until the last view (and with it the mmap) dies;
+            # the finalizer is the ``.rpb`` reader's implicit close().
+            key = os.path.abspath(path)
+            _track_reader_open(key)
+            weakref.finalize(buffer, _track_reader_close, key)
         return decode_payload(header["meta"], arrays), size
     except FileNotFoundError:
         return None
@@ -452,7 +462,10 @@ class TraceTileReader:
 # live mmap'd reader still iterates (the reader would fault mid-walk on
 # platforms without POSIX unlink-while-open semantics, and on POSIX the
 # store would silently free nothing until the mapping dies anyway).
-# ``unlink_when_closed`` defers deletion to the final ``close()``.
+# ``unlink_when_closed`` defers deletion to the final ``close()``.  Both
+# container tiers register here: ``.rpt`` readers explicitly
+# (open/close), ``.rpb`` payload reads via a ``weakref.finalize`` on the
+# mapping, which fires once the last zero-copy view dies.
 _OPEN_READERS: dict[str, int] = {}
 _DEFERRED_UNLINKS: set[str] = set()
 

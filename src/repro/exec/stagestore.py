@@ -300,19 +300,25 @@ class StageStore:
 
         return legacy_codec_forced()
 
+    #: Digest-prefix directory fanout (mirrors ``StudyStore.SHARD_PREFIX``).
+    SHARD_PREFIX = 2
+
     def path(self, digest: str, stage_name: str) -> Path | None:
         """Cache file for one stage digest (None when disabled).
 
-        The suffix tracks the active codec — ``.rpb`` containers by
-        default, ``.json`` when the legacy codec is forced — and the
-        filename embeds :func:`~repro.exec.store.cache_version`, so a
-        codec flip can never address (or half-decode) the other
-        format's entries.
+        Entries shard over ``stages/<digest prefix>/`` directories —
+        digest-prefix fanout keeps each directory small under served
+        traffic and gives the eviction scan natural units.  The suffix
+        tracks the active codec — ``.rpb`` containers by default,
+        ``.json`` when the legacy codec is forced — and the filename
+        embeds :func:`~repro.exec.store.cache_version`, so a codec flip
+        can never address (or half-decode) the other format's entries.
         """
         if self._dir is None:
             return None
         suffix = "json" if self._legacy() else "rpb"
-        return self._dir / f"v{cache_version()}_{stage_name}_{digest[:24]}.{suffix}"
+        shard = digest[: self.SHARD_PREFIX]
+        return self._dir / shard / f"v{cache_version()}_{stage_name}_{digest[:24]}.{suffix}"
 
     def load(self, digest: str, stage_name: str):
         """Stored payload for a stage digest, or None on miss/corruption.
@@ -343,6 +349,9 @@ class StageStore:
             self.stats.misses[stage_name] += 1
         else:
             self.stats.hits[stage_name] += 1
+            from repro.exec.store import _touch
+
+            _touch(path)  # refresh the eviction loop's LRU clock
         return payload
 
     def store(self, digest: str, stage_name: str, payload) -> None:

@@ -91,6 +91,19 @@ def write_json_atomic(path: Path, payload) -> None:
         raise
 
 
+def _touch(path: Path) -> None:
+    """Bump a cache entry's mtime — the eviction loop's LRU clock.
+
+    Filesystems are routinely mounted ``noatime``, so reads would be
+    invisible to a pure-stat recency scan; an explicit utime on every
+    hit makes the serve daemon's size-budgeted eviction a true LRU.
+    """
+    try:
+        os.utime(path)
+    except OSError:  # pragma: no cover - entry raced away
+        pass
+
+
 def config_fingerprint(config) -> str:
     """Hash every protocol knob that can influence a cell's result.
 
@@ -146,16 +159,76 @@ class StudyStore:
         """Whether a cache directory is configured."""
         return self._dir is not None
 
+    #: Hex digits of the digest prefix used for directory fanout.  256
+    #: shards keep per-directory entry counts flat even for stores with
+    #: hundreds of thousands of cells, which is what the serve daemon's
+    #: eviction scan and warm ``GET`` lookups walk.
+    SHARD_PREFIX = 2
+
+    def digest(self, request: StudyRequest) -> str:
+        """Content digest of one request under this configuration.
+
+        This is the dedup digest the scheduler coalesces on and the
+        public cell address of the serve API (``/v1/cells/{digest}``).
+        """
+        return request_digest(request, self.fingerprint)
+
     def path(self, request: StudyRequest) -> Path | None:
-        """Cache file for one request (None when the store is disabled)."""
+        """Cache file for one request (None when the store is disabled).
+
+        Entries fan out over ``cells/<digest prefix>/`` shard
+        directories so the store scales to served traffic: lookups stay
+        O(1) directory walks and the eviction scan can budget per shard.
+        """
         if self._dir is None:
             return None
-        digest = request_digest(request, self.fingerprint)
+        digest = self.digest(request)
         name = (
             f"v{cache_version()}_{request.kind}_{request.app}"
             f"_t{request.threads}_{digest[:20]}.json"
         )
-        return self._dir / name
+        return self._dir / "cells" / digest[: self.SHARD_PREFIX] / name
+
+    def find_by_digest(self, digest: str) -> Path | None:
+        """Locate one persisted cell entry by its full request digest.
+
+        The serve daemon answers ``GET /v1/cells/{digest}`` for cells it
+        has no in-memory record of (e.g. after a restart) by scanning
+        the digest's shard directory — 256-way fanout keeps that scan a
+        handful of entries.  Returns the JSON or container path, or
+        None when nothing matching this configuration's cache version is
+        on disk.
+        """
+        if self._dir is None or len(digest) < 20:
+            return None
+        shard = self._dir / "cells" / digest[: self.SHARD_PREFIX]
+        marker = f"_{digest[:20]}"
+        prefix = f"v{cache_version()}_"
+        try:
+            candidates = sorted(shard.iterdir())
+        except OSError:
+            return None
+        for path in candidates:
+            if path.name.startswith(prefix) and marker in path.stem:
+                return path
+        return None
+
+    def load_by_digest(self, digest: str):
+        """Decode one persisted cell payload by digest (None on miss)."""
+        path = self.find_by_digest(digest)
+        if path is None:
+            return None
+        if path.suffix == ".rpb":
+            from repro.exec.columnar import read_payload_file
+
+            loaded = read_payload_file(path)
+            return None if loaded is None else loaded[0]
+        raw = read_json(path)
+        if raw is None:
+            return None
+        from repro.api.codec import payload_from_jsonable
+
+        return payload_from_jsonable(raw)
 
     def _container_path(self, path: Path) -> Path:
         return path.with_suffix(".rpb")
@@ -175,14 +248,21 @@ class StudyStore:
 
         if legacy_codec_forced():
             raw = read_json(path)
-            return None if raw is None else payload_from_jsonable(raw)
+            if raw is None:
+                return None
+            _touch(path)
+            return payload_from_jsonable(raw)
         payload = read_json(path)
         if payload is not None:
+            _touch(path)
             return payload
         from repro.exec.columnar import read_payload_file
 
         loaded = read_payload_file(self._container_path(path))
-        return None if loaded is None else loaded[0]
+        if loaded is None:
+            return None
+        _touch(self._container_path(path))
+        return loaded[0]
 
     def store(self, request: StudyRequest, payload) -> None:
         """Atomically persist one cell payload (temp file + rename).
@@ -241,12 +321,14 @@ class StudyStore:
     def reclaim(self, path: str):
         """Reattach one spilled payload (mmap read) and delete the file.
 
-        Deletion goes through the columnar open-handle guard: a spilled
-        payload may be (or reference) a tiled trace container that a
-        live :class:`~repro.exec.columnar.TraceTileReader` is still
-        iterating, and reclaiming it mid-read must defer the unlink
-        until that reader's final ``close()`` instead of yanking tiles
-        out from under its mapping.
+        Deletion goes through the columnar open-handle guard, which
+        tracks **both** container tiers: a live
+        :class:`~repro.exec.columnar.TraceTileReader` still iterating a
+        tiled ``.rpt`` container, and the zero-copy ``np.frombuffer``
+        views a ``.rpb`` read just handed back (registered via a
+        finalizer on the mapping).  Either way the unlink is deferred
+        until the last mapping dies instead of yanking bytes out from
+        under a reader.
         """
         from repro.exec.columnar import read_payload_file, unlink_when_closed
 

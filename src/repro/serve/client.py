@@ -1,0 +1,170 @@
+"""Blocking client for the serve API (``http.client``, stdlib only).
+
+One :class:`ServeClient` holds one keep-alive connection — the warm-hit
+benchmark measures request latency, not TCP handshakes — and re-dials
+transparently when the server closed it (drain, stream responses).
+Thread-safety is per-instance: give each thread its own client, exactly
+like ``http.client`` itself.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Iterator
+
+from repro.api.service import CellStatus, CellSubmission, ServerStatus
+
+__all__ = ["ServeClient", "ServeError", "RateLimited"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx answer from the serve daemon."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class RateLimited(ServeError):
+    """A 429 answer; ``retry_after`` is the server's suggested backoff."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Typed access to one serve daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8177, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ---------------------------------------------------------------- plumbing
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the keep-alive connection."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                socket.timeout,
+                OSError,
+            ):
+                # Stale keep-alive connection (server restarted or sent
+                # Connection: close) — re-dial once, then give up.
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            decoded = {"error": data.decode("utf-8", "replace")}
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+        if response.status == 429:
+            retry_after = float(response.getheader("Retry-After", "0") or 0)
+            raise RateLimited(decoded.get("error", "rate limited"), retry_after)
+        if response.status >= 400:
+            raise ServeError(
+                response.status, decoded.get("error", f"status {response.status}")
+            )
+        return response.status, decoded
+
+    # --------------------------------------------------------------- endpoints
+    def submit(
+        self, submission: CellSubmission, wait: bool = False
+    ) -> CellStatus:
+        """``POST /v1/cells``; ``wait=True`` blocks until terminal."""
+        path = "/v1/cells" + ("?wait=1" if wait else "")
+        _, body = self._request("POST", path, submission.to_json())
+        return CellStatus.from_json(body)
+
+    def submit_raw(
+        self, submission: CellSubmission, wait: bool = False
+    ) -> dict:
+        """:meth:`submit` returning the raw body (includes ``result``)."""
+        path = "/v1/cells" + ("?wait=1" if wait else "")
+        _, body = self._request("POST", path, submission.to_json())
+        return body
+
+    def cell(self, digest: str) -> dict:
+        """``GET /v1/cells/{digest}`` (raw body; 404 → ServeError)."""
+        _, body = self._request("GET", f"/v1/cells/{digest}")
+        return body
+
+    def events(self, digest: str) -> Iterator[dict]:
+        """``GET /v1/cells/{digest}/events`` — yield NDJSON events.
+
+        The stream is close-delimited, so it rides a dedicated
+        connection; the client's keep-alive connection is untouched.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/v1/cells/{digest}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = json.loads(data).get("error", "")
+                except json.JSONDecodeError:
+                    message = data.decode("utf-8", "replace")
+                raise ServeError(response.status, message)
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            conn.close()
+
+    def status(self) -> ServerStatus:
+        """``GET /v1/status``."""
+        _, body = self._request("GET", "/v1/status")
+        return ServerStatus.from_json(body)
+
+    def healthz(self) -> dict:
+        """``GET /v1/healthz``."""
+        _, body = self._request("GET", "/v1/healthz")
+        return body

@@ -1,0 +1,197 @@
+"""Hand-rolled HTTP/1.1 framing over asyncio streams.
+
+``http.server`` is thread-per-request and WSGI-shaped; the serve daemon
+is a single asyncio loop multiplexing many slow clients, so it frames
+HTTP itself — the subset the service needs, done carefully:
+
+* request line + headers with hard size caps (oversized → 431/413),
+* bodies by ``Content-Length`` only (no chunked *requests* — the API's
+  bodies are small JSON documents),
+* responses always carry ``Content-Length`` except NDJSON event
+  streams, which are close-delimited (``Connection: close``),
+* keep-alive by default (HTTP/1.1 semantics), honoured until the
+  server drains.
+
+Everything raises :class:`HttpError`, which handlers render as a JSON
+error body — including 429s carrying ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "render_response",
+    "json_body",
+]
+
+#: Reason phrases for every status the service emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Hard caps: a study-cell submission is a few hundred bytes of JSON;
+#: anything beyond these is either a bug or abuse.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+
+class HttpError(Exception):
+    """An HTTP-level failure the handler turns into an error response."""
+
+    def __init__(
+        self, status: int, message: str, retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+    keep_alive: bool = True
+    client: str = ""
+    path_parts: tuple[str, ...] = field(default=())
+
+    def json(self) -> object:
+        """Decode the body as JSON (400 on anything undecodable)."""
+        if not self.body:
+            raise HttpError(400, "request body required")
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+
+    def flag(self, name: str) -> bool:
+        """Boolean query parameter (``?wait=1`` style)."""
+        return self.query.get(name, "").strip().lower() in ("1", "true", "yes")
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_header_bytes: int = MAX_HEADER_BYTES,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> HttpRequest | None:
+    """Read and parse one request; None on clean EOF (client closed).
+
+    Raises :class:`HttpError` on malformed framing; the caller answers
+    it and closes the connection (framing errors poison the stream).
+    """
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request headers too large") from None
+    if len(header_blob) > max_header_bytes:
+        raise HttpError(431, "request headers too large")
+
+    try:
+        head, *header_lines = header_blob.decode("latin-1").split("\r\n")
+        method, target, version = head.split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query))
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(413, f"request body exceeds {max_body_bytes} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body") from None
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    connection = headers.get("connection", "").lower()
+    keep_alive = connection != "close" and version != "HTTP/1.0"
+    return HttpRequest(
+        method=method.upper(),
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+        path_parts=tuple(part for part in path.split("/") if part),
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes | None = b"",
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialise one response head (+ body when given).
+
+    ``body=None`` means a close-delimited stream follows: no
+    ``Content-Length`` is emitted and ``Connection: close`` is forced,
+    which is how the NDJSON event stream is framed.
+    """
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    if body is None:
+        keep_alive = False
+    else:
+        lines.append(f"Content-Length: {len(body)}")
+    if body or body is None:
+        lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + (body or b"")
+
+
+def json_body(payload: object) -> bytes:
+    """Compact JSON encoding for response bodies."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")

@@ -1,0 +1,115 @@
+"""Per-client token-bucket rate limiting.
+
+Auth-less by design (the service runs inside a trust boundary), so the
+client key is the peer address.  Each client gets a token bucket: sends
+draw one token, tokens refill at ``rate`` per second up to ``burst``.
+An empty bucket answers 429 with a ``Retry-After`` telling the client
+exactly when the next token lands — well-behaved clients back off to
+precisely the sustainable rate instead of thundering.
+
+Buckets for idle clients are pruned once the table grows past a bound,
+so a port scan cannot grow server memory without limit.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """One client's bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def acquire(self, now: float) -> float:
+        """Try to draw one token; 0.0 on success, else seconds to wait."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        # The epsilon keeps Retry-After honest: a client that waits
+        # exactly the advertised time must be admitted, and the refill
+        # arithmetic (wait * rate) lands within float error of 1.0.
+        if self.tokens >= 1.0 - 1e-9:
+            self.tokens = max(0.0, self.tokens - 1.0)
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Token buckets keyed by client address.
+
+    Parameters
+    ----------
+    rate:
+        Sustained tokens/second per client; ``<= 0`` disables limiting
+        entirely (every :meth:`acquire` admits).
+    burst:
+        Bucket capacity — the instantaneous burst a client may spend
+        before the sustained rate applies.
+    max_clients:
+        Prune threshold: when the table exceeds this, buckets idle the
+        longest are dropped (a dropped bucket refills to full burst on
+        the client's next request, which errs on the side of admitting).
+    """
+
+    def __init__(
+        self, rate: float, burst: float, max_clients: int = 4096
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.max_clients = int(max_clients)
+        self._buckets: dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether limiting is active."""
+        return self.rate > 0
+
+    def acquire(self, client: str, now: float | None = None) -> float:
+        """Draw one token for ``client``; 0.0 admits, else Retry-After."""
+        if not self.enabled:
+            self.admitted += 1
+            return 0.0
+        if now is None:
+            now = time.monotonic()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= self.max_clients:
+                self._prune(now)
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate, self.burst, now
+            )
+        wait = bucket.acquire(now)
+        if wait > 0.0:
+            self.rejected += 1
+        else:
+            self.admitted += 1
+        return wait
+
+    def _prune(self, now: float) -> None:
+        """Drop the least recently active half of the bucket table."""
+        by_idle = sorted(
+            self._buckets.items(), key=lambda item: item[1].updated
+        )
+        for client, _ in by_idle[: len(by_idle) // 2 + 1]:
+            del self._buckets[client]
+
+    def snapshot(self) -> dict:
+        """Status-endpoint counters."""
+        return {
+            "rate_per_second": self.rate,
+            "burst": self.burst,
+            "clients": len(self._buckets),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }

@@ -177,8 +177,16 @@ class TestReferenceTransport:
         store = sched.StudyStore(config.cache_dir, config)
         reclaimed = store.reclaim(value)
         assert np.array_equal(reclaimed["big"], big["big"])
+        import gc
         import os
 
+        # The reclaimed payload is zero-copy views into the spilled
+        # container's mapping, so the unlink is *deferred* — reading
+        # after reclaim stays valid — and fires once the views die.
+        assert os.path.exists(value)
+        assert np.array_equal(reclaimed["big"], big["big"])  # read after reclaim
+        del reclaimed
+        gc.collect()
         assert not os.path.exists(value)
 
     def test_large_cacheable_payload_rides_the_store(self, tmp_path, monkeypatch):

@@ -55,7 +55,7 @@ class TestStudyRunner:
         first = StudyRunner(config).study("MCB", 4)
         second = StudyRunner(config).study("MCB", 4)  # fresh runner, from disk
         assert second.configs["ARMv8"].error_mean == first.configs["ARMv8"].error_mean
-        assert list(tmp_path.glob("*.json"))
+        assert list(tmp_path.rglob("*.json"))
 
 
 class TestDropInsignificant:

@@ -122,7 +122,7 @@ class TestStageCache:
         # Pin the binary codec: this test corrupts container files.
         monkeypatch.delenv("REPRO_FORCE_LEGACY_CODEC", raising=False)
         _run(FAST, store)
-        corrupted = list(store._dir.glob("*_profile_*.rpb"))
+        corrupted = list(store._dir.rglob("*_profile_*.rpb"))
         assert corrupted, "profile stage should persist a columnar container"
         for path in corrupted:
             path.write_bytes(b"RPB1\xff\xff\xff\xfftorn")
@@ -162,7 +162,7 @@ class TestCodecEquivalence:
         monkeypatch.delenv("REPRO_FORCE_LEGACY_CODEC", raising=False)
         store = StageStore(tmp_path / "cache")
         _run(FAST, store)
-        assert list(store._dir.glob("*.rpb")) and not list(store._dir.glob("*.json"))
+        assert list(store._dir.rglob("*.rpb")) and not list(store._dir.rglob("*.json"))
 
         monkeypatch.setenv("REPRO_FORCE_LEGACY_CODEC", "1")
         store.stats.reset()
@@ -170,7 +170,7 @@ class TestCodecEquivalence:
         # Different codec → different addresses: full cold re-run.
         for stage in CACHEABLE:
             assert store.stats.miss_count(stage) == 1
-        assert list(store._dir.glob("*.json"))
+        assert list(store._dir.rglob("*.json"))
 
 
 class TestStageProfileCounters:

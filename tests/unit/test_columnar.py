@@ -180,7 +180,7 @@ class TestStageStoreCodecs:
         monkeypatch.delenv("REPRO_FORCE_LEGACY_CODEC", raising=False)
         store = StageStore(tmp_path)
         store.store("d" * 64, "profile", PAYLOAD)
-        (entry,) = (tmp_path / "stages").glob("*")
+        (entry,) = (tmp_path / "stages").rglob("*.*")
         assert entry.suffix == ".rpb"
         _assert_payload_equal(store.load("d" * 64, "profile"), PAYLOAD)
         assert store.stats.bytes_encoded["profile"] > 0
@@ -190,7 +190,7 @@ class TestStageStoreCodecs:
         monkeypatch.setenv("REPRO_FORCE_LEGACY_CODEC", "1")
         store = StageStore(tmp_path)
         store.store("d" * 64, "profile", PAYLOAD)
-        (entry,) = (tmp_path / "stages").glob("*")
+        (entry,) = (tmp_path / "stages").rglob("*.*")
         assert entry.suffix == ".json"
         _assert_payload_equal(store.load("d" * 64, "profile"), PAYLOAD)
 
@@ -212,14 +212,14 @@ class TestStudyStoreArrays:
         monkeypatch.delenv("REPRO_FORCE_LEGACY_CODEC", raising=False)
         store = StudyStore(tmp_path, self._config())
         store.store(self.REQUEST, PAYLOAD)
-        assert not list(tmp_path.glob("*.json"))  # routed to a container
+        assert not list(tmp_path.rglob("*.json"))  # routed to a container
         _assert_payload_equal(store.load(self.REQUEST), PAYLOAD)
 
     def test_array_payloads_roundtrip_legacy(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_FORCE_LEGACY_CODEC", "1")
         store = StudyStore(tmp_path, self._config())
         store.store(self.REQUEST, PAYLOAD)
-        assert not list(tmp_path.glob("*.rpb"))
+        assert not list(tmp_path.rglob("*.rpb"))
         _assert_payload_equal(store.load(self.REQUEST), PAYLOAD)
 
     def test_all_empty_arrays_still_route_to_a_container(self, tmp_path):

@@ -1,0 +1,136 @@
+"""Unit tests for the size-budgeted LRU store evictor.
+
+The three properties the serve daemon leans on:
+
+* eviction unlinks coldest-first and stops at the byte budget;
+* an entry with live mmap readers is *never* unlinked, no matter how
+  cold (and its bytes keep counting against the budget);
+* eviction is loss-free — an evicted cell is a cache miss whose
+  recompute/refetch is byte-identical to what was dropped.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.exec.columnar import (
+    open_reader_count,
+    read_payload_file,
+    write_payload_atomic,
+)
+from repro.exec.eviction import StoreEvictor
+
+KIB = 1024
+
+
+def _entry(root: Path, rel: str, nbytes: int, age: float) -> Path:
+    """Create one fake store entry `age` seconds cold."""
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"\0" * nbytes)
+    stamp = 1_700_000_000.0 - age
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+class TestScan:
+    def test_orders_coldest_first(self, tmp_path):
+        _entry(tmp_path, "stages/aa/v7_x_1.rpb", KIB, age=10.0)
+        _entry(tmp_path, "cells/bb/v7_y_2.json", KIB, age=30.0)
+        _entry(tmp_path, "traces/v7_z_3.rpt", KIB, age=20.0)
+        evictor = StoreEvictor(tmp_path, budget_bytes=10 * KIB)
+        names = [entry.path.name for entry in evictor.scan()]
+        assert names == ["v7_y_2.json", "v7_z_3.rpt", "v7_x_1.rpb"]
+
+    def test_ignores_non_entry_files(self, tmp_path):
+        _entry(tmp_path, "stages/aa/v7_x_1.rpb", KIB, age=0.0)
+        _entry(tmp_path, "stages/aa/v7_x_1.rpb.tmp-123", KIB, age=0.0)
+        _entry(tmp_path, "spill/payload.rpb", KIB, age=0.0)  # not a SUBTREE
+        evictor = StoreEvictor(tmp_path, budget_bytes=1)
+        assert [e.path.suffix for e in evictor.scan()] == [".rpb"]
+
+    def test_disabled_without_budget(self, tmp_path):
+        assert not StoreEvictor(tmp_path, budget_bytes=0).enabled
+        assert not StoreEvictor("", budget_bytes=100).enabled
+        assert StoreEvictor(tmp_path, budget_bytes=100).enabled
+
+
+class TestEvict:
+    def test_lru_until_under_budget(self, tmp_path):
+        cold = _entry(tmp_path, "stages/aa/v7_cold.rpb", 4 * KIB, age=100.0)
+        mid = _entry(tmp_path, "stages/bb/v7_mid.rpb", 4 * KIB, age=50.0)
+        hot = _entry(tmp_path, "cells/cc/v7_hot.json", 4 * KIB, age=1.0)
+        evictor = StoreEvictor(tmp_path, budget_bytes=8 * KIB)
+        report = evictor.evict()
+        assert not cold.exists() and mid.exists() and hot.exists()
+        assert report.evicted_files == 1
+        assert report.evicted_bytes == 4 * KIB
+        assert report.remaining_bytes <= 8 * KIB
+
+    def test_noop_when_under_budget(self, tmp_path):
+        path = _entry(tmp_path, "stages/aa/v7_x.rpb", KIB, age=100.0)
+        report = StoreEvictor(tmp_path, budget_bytes=64 * KIB).evict()
+        assert path.exists() and report.evicted_files == 0
+
+    def test_hit_refreshes_lru_clock(self, tmp_path):
+        """A _touch'd (recently hit) entry outlives an untouched one."""
+        from repro.exec.store import _touch
+
+        touched = _entry(tmp_path, "stages/aa/v7_touched.rpb", 4 * KIB, age=100.0)
+        other = _entry(tmp_path, "stages/bb/v7_other.rpb", 4 * KIB, age=50.0)
+        _touch(touched)  # the cache hit: now newer than `other`
+        StoreEvictor(tmp_path, budget_bytes=4 * KIB).evict()
+        assert touched.exists() and not other.exists()
+
+    def test_open_reader_is_never_evicted(self, tmp_path):
+        """The 64 MiB-budget property: mapped containers are untouchable."""
+        payload = {"big": np.arange(32 * KIB, dtype=np.int64)}
+        target = tmp_path / "stages" / "aa" / "v7_mapped.rpb"
+        target.parent.mkdir(parents=True)
+        write_payload_atomic(target, payload)
+        os.utime(target, (1.0, 1.0))  # coldest possible
+        loaded, _ = read_payload_file(target)  # zero-copy views hold the mmap
+        assert open_reader_count(target) == 1
+
+        evictor = StoreEvictor(tmp_path, budget_bytes=1)
+        report = evictor.evict()
+        assert target.exists()
+        assert report.skipped_open == 1
+        assert report.evicted_files == 0
+        # The payload stays readable *through* the eviction pass.
+        assert np.array_equal(loaded["big"], payload["big"])
+
+        # Once the views die the entry is fair game again.
+        del loaded
+        gc.collect()
+        assert open_reader_count(target) == 0
+        report = evictor.evict()
+        assert not target.exists()
+        assert report.evicted_files == 1
+
+    def test_eviction_is_loss_free(self, tmp_path):
+        """Evict → refetch reproduces the container byte-identically."""
+        payload = {
+            "weights": np.linspace(0.0, 1.0, 4096),
+            "counts": np.arange(4096, dtype=np.int64),
+            "meta": {"k": 7},
+        }
+        target = tmp_path / "stages" / "aa" / "v7_roundtrip.rpb"
+        target.parent.mkdir(parents=True)
+        write_payload_atomic(target, payload)
+        before = target.read_bytes()
+
+        StoreEvictor(tmp_path, budget_bytes=1).evict()
+        assert not target.exists()
+
+        # The refetch is a deterministic re-encode of the same payload.
+        write_payload_atomic(target, payload)
+        assert target.read_bytes() == before
+        after, _ = read_payload_file(target)
+        assert np.array_equal(after["weights"], payload["weights"])
+        assert np.array_equal(after["counts"], payload["counts"])
+        assert after["meta"] == {"k": 7}

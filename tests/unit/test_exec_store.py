@@ -67,8 +67,8 @@ class TestStudyStore:
         store.store(REQUEST, {"x": 1})
         store.store(REQUEST, {"x": 2})  # overwrite in place
         assert store.load(REQUEST) == {"x": 2}
-        assert not list(tmp_path.glob("*.tmp"))
-        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert not list(tmp_path.rglob("*.tmp"))
+        assert len(list(tmp_path.rglob("*.json"))) == 1
 
     def test_config_change_misses(self, tmp_path):
         StudyStore(tmp_path, _config()).store(REQUEST, {"x": 1})

@@ -128,8 +128,20 @@ class TestOpenHandleGuard:
         request = StudyRequest(kind="scaling", app="LULESH", threads=2)
         spilled = store.spill(request, {"x": np.arange(8.0)})
         payload = store.reclaim(spilled)
+        # Regression (PR 7): the reclaimed arrays are np.frombuffer
+        # views into the container's mapping, and the ``.rpb`` read
+        # registered that mapping as an open reader — so reclaim defers
+        # the unlink and reading *after* reclaim is safe everywhere,
+        # not just on POSIX unlink-while-open semantics.
+        assert Path(spilled).exists()
+        assert open_reader_count(spilled) == 1
         assert np.array_equal(payload["x"], np.arange(8.0))
-        assert not Path(spilled).exists()  # no readers: deleted at once
+        del payload
+        import gc
+
+        gc.collect()
+        assert open_reader_count(spilled) == 0
+        assert not Path(spilled).exists()  # last view gone: deleted
 
 
 class TestStreamTileGenerator:
