@@ -12,7 +12,7 @@ def test_maxk_budget(benchmark, experiment_config):
     print("\n" + result.render())
     ks = [p.k for p in result.points]
     # k never exceeds its budget.
-    for point, budget in zip(result.points, (5, 10, 20, 30)):
+    for point, budget in zip(result.points, (5, 10, 20, 30), strict=True):
         assert point.k <= budget
     # A larger budget never forces a smaller selection.
     assert ks == sorted(ks) or max(ks) - min(ks) <= 20

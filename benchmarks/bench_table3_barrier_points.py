@@ -15,7 +15,7 @@ def test_table3_barrier_points(benchmark, experiment_config):
     print("\n" + result.render())
 
     by_app = {row[0]: row for row in result.rows}
-    for app, (paper_total, paper_min, paper_max) in PAPER_TABLE3.items():
+    for app, (paper_total, _paper_min, _paper_max) in PAPER_TABLE3.items():
         _, total, lo, hi = by_app[app]
         assert total == paper_total, f"{app} total"
         assert 1 <= lo <= hi <= 20, f"{app} selection range"

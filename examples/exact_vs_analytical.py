@@ -19,12 +19,12 @@ import numpy as np
 
 from repro.ir.memory import MemoryPattern, PatternKind
 from repro.mem import (
+    N_DISTANCE_BINS,
     CacheSimulator,
     effective_capacity_lines,
     generate_stream,
     miss_fraction,
     misses_from_ldv,
-    N_DISTANCE_BINS,
     reuse_distances,
     reuse_histogram,
 )

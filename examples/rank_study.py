@@ -14,7 +14,7 @@ Usage::
 
 import os
 
-from repro.api import RankStudy, PipelineConfig
+from repro.api import PipelineConfig, RankStudy
 from repro.hw.measure import MeasurementProtocol
 
 MACHINE = "Intel Core i7-3770"

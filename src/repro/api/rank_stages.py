@@ -47,8 +47,8 @@ from repro.api.stage import Stage
 from repro.core.signatures import SignatureMatrix, build_signatures
 from repro.hw.pmu import INSTRUCTIONS
 from repro.instrumentation.bbv import collect_bbv
-from repro.instrumentation.ldv import collect_ldv
 from repro.instrumentation.collector import DiscoveryObservation
+from repro.instrumentation.ldv import collect_ldv
 from repro.runtime.interleave import signature_jitter_sigma
 
 __all__ = ["RankifyStage", "CoalesceRanksStage", "coalesce_signatures"]

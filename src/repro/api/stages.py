@@ -512,7 +512,7 @@ class ValidateStage(Stage):
                         reference_reps=entry["reps"][selection.run_index]["roi"],
                     ),
                 )
-                for selection, estimate in zip(selections, per_selection)
+                for selection, estimate in zip(selections, per_selection, strict=True)
             ]
         ctx.put("evaluations", evaluations)
         return ctx

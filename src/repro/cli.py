@@ -21,6 +21,7 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro stages          # registered pipeline stages
     repro serve           # always-on artifact service (JSON over HTTP)
     repro client          # command-line client for a running daemon
+    repro lint            # RPR invariant checker (static analysis)
 
 ``--scale quick`` (or the ``--quick`` shorthand) shrinks the protocol
 (3 discovery runs, 5 repetitions) for a fast look; the default
@@ -39,9 +40,21 @@ import sys
 
 from repro.exec.backends import BACKEND_NAMES
 from repro.exec.scheduler import StudyScheduler
-from repro.experiments import coalesce, coretypes, figure1, figure2, limitations
-from repro.experiments import ranks, scaling, table1, table2, table3, table4
-from repro.experiments import trace, variability
+from repro.experiments import (
+    coalesce,
+    coretypes,
+    figure1,
+    figure2,
+    limitations,
+    ranks,
+    scaling,
+    table1,
+    table2,
+    table3,
+    table4,
+    trace,
+    variability,
+)
 from repro.experiments.config import SCALES, default_config
 
 __all__ = ["main"]
@@ -212,13 +225,18 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
-    # The serve/client subcommands have their own option namespaces
-    # (ports, budgets...), so they dispatch before the experiment parser.
+    # The serve/client/lint subcommands have their own option namespaces
+    # (ports, budgets, baselines...), so they dispatch before the
+    # experiment parser.
     if argv and argv[0] in ("serve", "client"):
         from repro.serve.cli import client_main, serve_main
 
         runner = serve_main if argv[0] == "serve" else client_main
         return runner(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import lint_main
+
+        return lint_main(argv[1:])
 
     args = _build_parser().parse_args(argv)
 

@@ -150,7 +150,7 @@ def _lloyd(
     labels = np.zeros(data.shape[0], dtype=np.int64)
     prev_inertia = np.inf
     iteration = 0
-    for iteration in range(1, max_iter + 1):
+    for iteration in range(1, max_iter + 1):  # noqa: B007  # read after the loop
         d2 = _squared_distances(data, centers, data_sq)
         labels = d2.argmin(axis=1)
         inertia = float((weights * d2[np.arange(data.shape[0]), labels]).sum())

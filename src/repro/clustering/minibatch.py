@@ -100,7 +100,7 @@ def minibatch_kmeans(
         )
         counts = np.zeros(k)
         steps = 0
-        for steps in range(1, max_batches + 1):
+        for steps in range(1, max_batches + 1):  # noqa: B007  # read after the loop
             batch_idx = gen.integers(0, n, size=batch_size)
             batch = data[batch_idx]
             batch_w = weights[batch_idx]

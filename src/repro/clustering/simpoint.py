@@ -186,7 +186,7 @@ def run_simpoint(
         chosen = grid[0]
     else:
         cutoff = lo + options.bic_threshold * (hi - lo)
-        chosen = next(k for k, s in zip(grid, scores) if s >= cutoff)
+        chosen = next(k for k, s in zip(grid, scores, strict=True) if s >= cutoff)
 
     return ClusteringChoice(
         k=chosen, result=results[chosen], projected=projected, bic_by_k=bic_by_k

@@ -106,7 +106,7 @@ def write_payload_atomic(path: Path, payload, durable: bool = True) -> int:
     data_start = _align(4 + _HEADER_LEN.size + len(probe) + 16 * len(arrays) + 16)
 
     offset = data_start
-    for descriptor, array in zip(descriptors, arrays):
+    for descriptor, array in zip(descriptors, arrays, strict=True):
         descriptor["offset"] = offset
         offset = _align(offset + array.nbytes) if array.nbytes else offset
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
@@ -119,7 +119,7 @@ def write_payload_atomic(path: Path, payload, durable: bool = True) -> int:
     body_parts.append(header_bytes)
     body_parts.append(b"\x00" * (data_start - header_end))
     cursor = data_start
-    for descriptor, array in zip(descriptors, arrays):
+    for descriptor, array in zip(descriptors, arrays, strict=True):
         if array.nbytes == 0:
             continue
         body_parts.append(b"\x00" * (descriptor["offset"] - cursor))
@@ -393,7 +393,9 @@ class TraceTileReader:
                 self._path.unlink()
             except OSError:
                 pass
-            raise FileNotFoundError(f"corrupt tiled container: {self._path}")
+            raise FileNotFoundError(
+                f"corrupt tiled container: {self._path}"
+            ) from None
         self._open = True
         _track_reader_open(self._key)
 

@@ -166,7 +166,7 @@ class StudyScheduler:
             items = [(request, self.config, parent_pid) for request in missing]
             results = self.backend.map(_execute_item, items)
             parent_stats = stage_store_for(self.config).stats
-            for request, ((transport, value), pid, delta) in zip(missing, results):
+            for request, ((transport, value), pid, delta) in zip(missing, results, strict=True):
                 if pid != parent_pid:
                     # Cell ran in a worker process: fold its stage-cache
                     # traffic into this process's counters so --verbose

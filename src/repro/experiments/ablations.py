@@ -20,8 +20,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.clustering.simpoint import SimPointOptions
 from repro.api.builder import build_pipeline
+from repro.clustering.simpoint import SimPointOptions
 from repro.core.selection import BarrierPointSelection
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.hw.measure import MeasurementProtocol

@@ -17,9 +17,9 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.api.builder import StagePipeline, build_pipeline
 from repro.clustering.simpoint import run_simpoint
 from repro.core.coalesce import aggregate_observation, aggregate_values, coalesce_groups
-from repro.api.builder import StagePipeline, build_pipeline
 from repro.core.reconstruction import reconstruct_totals
 from repro.core.selection import select_barrier_points
 from repro.core.signatures import build_signatures

@@ -43,7 +43,7 @@ class Figure1:
         """ASCII rendering of the series and the set comparison."""
         rows = [
             (f"BP_{i + 1}", f"{c:.2f}", f"{m:.2f}")
-            for i, (c, m) in enumerate(zip(self.relative_cpi, self.relative_mpki))
+            for i, (c, m) in enumerate(zip(self.relative_cpi, self.relative_mpki, strict=True))
         ]
         table = render_table(
             ("Barrier point", "CPI (rel. BP_1)", "L2D MPKI (rel. BP_1)"),

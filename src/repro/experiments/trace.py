@@ -137,7 +137,9 @@ def trace_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
 
     collector = StreamedSignatureCollector(n_blocks=len(blocks))
     try:
-        for index, ((uid, pattern, ipa), budget) in enumerate(zip(blocks, budgets)):
+        for index, ((_uid, pattern, ipa), budget) in enumerate(
+            zip(blocks, budgets, strict=True)
+        ):
             if budget <= 0:
                 continue
             seed = _block_seed(config.seed, request.app, index)
@@ -197,7 +199,7 @@ def _assert_matches_oracles(request, config, blocks, budgets, payload) -> None:
     from repro.mem.streams import iter_stream_tiles
 
     parts = []
-    for index, ((_, pattern, _), budget) in enumerate(zip(blocks, budgets)):
+    for index, ((_, pattern, _), budget) in enumerate(zip(blocks, budgets, strict=True)):
         if budget <= 0:
             continue
         seed = _block_seed(config.seed, request.app, index)

@@ -88,4 +88,4 @@ class PapiSession:
         sigma = self._machine.pmu.read_sigma(biased, threads, self._pinned)
         measured = np.maximum(biased + sigma * self._gen.standard_normal(4), 0.0)
         self._reads += 1
-        return dict(zip(PAPI_EVENTS, (float(v) for v in measured)))
+        return dict(zip(PAPI_EVENTS, (float(v) for v in measured), strict=True))

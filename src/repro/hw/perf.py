@@ -172,7 +172,7 @@ class PerfModel:
         cap_l3 = machine.l3.effective_capacity(machine.l3_sharers(team))
         sharing_groups: list[tuple[float, float, np.ndarray]] = []
         for s1, s2 in dict.fromkeys(
-            zip(placement.l1_sharers.tolist(), placement.l2_sharers.tolist())
+            zip(placement.l1_sharers.tolist(), placement.l2_sharers.tolist(), strict=True)
         ):
             cols = np.flatnonzero(
                 (placement.l1_sharers == s1) & (placement.l2_sharers == s2)
@@ -191,7 +191,7 @@ class PerfModel:
         isa = machine.isa
 
         per_template: list[np.ndarray] = []
-        for template, ttrace in zip(trace.program.templates, trace.template_traces):
+        for template, ttrace in zip(trace.program.templates, trace.template_traces, strict=True):
             n_inst = ttrace.n_instances
             if n_inst == 0:
                 per_template.append(np.zeros((0, threads, N_METRICS)))

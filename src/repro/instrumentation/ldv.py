@@ -30,7 +30,7 @@ def collect_ldv(trace: ExecutionTrace, per_thread: bool = True) -> np.ndarray:
     """
     threads = trace.threads
     per_template: list[np.ndarray] = []
-    for template, ttrace in zip(trace.program.templates, trace.template_traces):
+    for template, ttrace in zip(trace.program.templates, trace.template_traces, strict=True):
         n_inst = ttrace.n_instances
         out = np.zeros((n_inst, threads, N_DISTANCE_BINS))
         if n_inst == 0:

@@ -105,7 +105,7 @@ class StreamedSignatureCollector:
         bbv_row[block_index] = int(round(tile.size * instructions_per_access))
         substream = tile
         first_mask = None
-        for (_, _sim), state in zip(self._levels, self._states):
+        for (_, _sim), state in zip(self._levels, self._states, strict=True):
             if substream.size == 0:
                 # Deeper levels see no traffic this tile; counters and
                 # carried stacks are simply untouched, exactly as the
@@ -135,6 +135,6 @@ class StreamedSignatureCollector:
                     "accesses": int(state.accesses),
                     "misses": int(state.misses),
                 }
-                for (name, _), state in zip(self._levels, self._states)
+                for (name, _), state in zip(self._levels, self._states, strict=True)
             },
         )

@@ -91,6 +91,6 @@ class Program:
         return float(
             sum(
                 int(c) * t.abstract_instructions()
-                for c, t in zip(counts, self.templates)
+                for c, t in zip(counts, self.templates, strict=True)
             )
         )

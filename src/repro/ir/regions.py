@@ -119,7 +119,7 @@ class RegionTemplate:
     def abstract_instructions(self) -> float:
         """Abstract operations of one nominal instance (all threads)."""
         return float(
-            sum(it * blk.mix.abstract_ops for it, blk in zip(self.iterations, self.blocks))
+            sum(it * blk.mix.abstract_ops for it, blk in zip(self.iterations, self.blocks, strict=True))
         )
 
     def memory_accesses(self) -> float:
@@ -127,6 +127,6 @@ class RegionTemplate:
         return float(
             sum(
                 it * blk.mix.memory_accesses
-                for it, blk in zip(self.iterations, self.blocks)
+                for it, blk in zip(self.iterations, self.blocks, strict=True)
             )
         )

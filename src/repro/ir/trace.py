@@ -146,7 +146,7 @@ class ExecutionTrace:
             )
             offset = 0
             for t_idx, (template, ttrace) in enumerate(
-                zip(self.program.templates, self.template_traces)
+                zip(self.program.templates, self.template_traces, strict=True)
             ):
                 mask = self.bp_template == t_idx
                 inst = self.bp_instance[mask]

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.isa.descriptors import BinaryConfig, ISA
+from repro.isa.descriptors import ISA, BinaryConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ir.mix import InstructionMix

@@ -1,0 +1,146 @@
+"""Grandfathered findings: ``lint-baseline.json``.
+
+The baseline is the audited list of findings the project has decided to
+live with.  Every entry carries a mandatory human justification and is
+matched by *content* — ``(rule, path, stripped source line)`` — not by
+line number, so edits elsewhere in a file never invalidate it, while
+fixing (or deleting) the offending line makes the entry stale.  Stale
+entries fail the run just like new findings do: the baseline may only
+shrink deliberately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.model import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding with its reason for existing."""
+
+    rule: str
+    path: str
+    code: str
+    justification: str
+
+    @property
+    def fingerprint(self) -> str:
+        text = "\x1f".join((self.rule, self.path, self.code))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "code": self.code,
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "BaselineEntry":
+        entry = cls(
+            rule=str(data.get("rule", "")),
+            path=str(data.get("path", "")),
+            code=str(data.get("code", "")),
+            justification=str(data.get("justification", "")).strip(),
+        )
+        if not entry.rule or not entry.path:
+            raise ValueError(f"baseline entry missing rule/path: {data!r}")
+        if not entry.justification:
+            raise ValueError(
+                f"baseline entry for {entry.rule} at {entry.path!r} has no "
+                "justification — every grandfathered finding must say why"
+            )
+        return entry
+
+    @classmethod
+    def from_finding(
+        cls, finding: Finding, justification: str
+    ) -> "BaselineEntry":
+        return cls(
+            rule=finding.rule,
+            path=finding.path,
+            code=finding.code,
+            justification=justification,
+        )
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.by_fingerprint = {e.fingerprint: e for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.by_fingerprint
+
+    def stale_entries(self, findings: list[Finding]) -> list[BaselineEntry]:
+        """Entries whose finding no longer exists — must be removed."""
+        live = {f.fingerprint for f in findings}
+        return [e for e in self.entries if e.fingerprint not in live]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}"
+            )
+        entries = [BaselineEntry.from_json(e) for e in data.get("entries", [])]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        data = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                e.to_json()
+                for e in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.code)
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(data, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def rebuilt_from(
+        cls, findings: list[Finding], previous: "Baseline"
+    ) -> "Baseline":
+        """``--fix-baseline``: one entry per current finding.
+
+        Existing justifications are carried over; genuinely new entries
+        get a TODO marker that a human must replace before the file
+        loads cleanly in review (the marker is valid JSON but is meant
+        to be caught in code review, not by the tool).
+        """
+        entries = []
+        for finding in findings:
+            prior = previous.by_fingerprint.get(finding.fingerprint)
+            justification = (
+                prior.justification
+                if prior is not None
+                else "TODO: justify this exemption or fix the finding"
+            )
+            entries.append(BaselineEntry.from_finding(finding, justification))
+        return cls(entries=entries)

@@ -1,0 +1,121 @@
+"""``repro lint`` — the invariant checker's command-line front end.
+
+Exit codes: ``0`` clean (modulo baseline), ``1`` new findings or stale
+baseline entries, ``2`` usage errors.  ``--format json`` emits the
+stable schema-versioned report CI consumes; ``--fix-baseline`` rewrites
+``lint-baseline.json`` from the current findings, carrying existing
+justifications over and TODO-marking new ones for review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.registry import rule_registry
+from repro.lint.runner import REPO_ROOT, load_rules, run_lint
+
+__all__ = ["lint_main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Run the RPR invariant rules over the source tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: <repo>/lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report every finding as new",
+    )
+    parser.add_argument(
+        "--fix-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule subset (e.g. RPR101,RPR105)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root for relative paths (default: autodetected)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def lint_main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    root = (args.root or REPO_ROOT).resolve()
+
+    if args.list_rules:
+        for name, _description in sorted(rule_registry.describe()):
+            rule = rule_registry.get(name)()
+            print(f"{rule.name}  {rule.severity:<7}  {rule.title}")
+        return 0
+
+    try:
+        rules = load_rules(
+            [r.strip() for r in args.rules.split(",")] if args.rules else None
+        )
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or (root / "lint-baseline.json")
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"repro lint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+
+    paths = [p if p.is_absolute() else root / p for p in args.paths] or None
+    report = run_lint(paths, root=root, rules=rules, baseline=baseline)
+
+    if args.fix_baseline:
+        findings = report.findings + report.baselined
+        rebuilt = Baseline.rebuilt_from(findings, baseline)
+        rebuilt.save(baseline_path)
+        print(
+            f"wrote {len(rebuilt)} baseline entr"
+            f"{'y' if len(rebuilt) == 1 else 'ies'} to {baseline_path}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1

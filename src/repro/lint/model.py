@@ -1,0 +1,182 @@
+"""The analysed view of the tree: findings, modules, the project.
+
+A :class:`Module` is one parsed source file — path, dotted module name,
+AST, source lines, and the ``# repro-lint: disable=…`` pragma table.
+A :class:`Project` is the set of modules under analysis plus the shared
+indexes the cross-module rules need (class tables for the stage-contract
+rules, the import graph for registry drift).  Both are built once per
+run and handed read-only to every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Finding", "Module", "Project", "dotted_name"]
+
+#: ``# repro-lint: disable=RPR101`` / ``disable=RPR101,RPR104``.
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+
+#: A pragma standing alone on a line (comment only) disables file-wide.
+_PRAGMA_ONLY = re.compile(r"^\s*#\s*repro-lint:\s*disable=")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``code`` is the stripped source line the finding anchors to; the
+    baseline matches on ``(rule, path, code)`` rather than the line
+    number, so unrelated edits above a grandfathered finding do not
+    invalidate its baseline entry.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    code: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline (line-number free)."""
+        text = "\x1f".join((self.rule, self.path, self.code))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "code": self.code,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+class Module:
+    """One parsed source file under analysis."""
+
+    def __init__(self, path: Path, root: Path, source: str) -> None:
+        self.path = path
+        #: Repo-relative POSIX path — the stable identity in findings.
+        self.relpath = path.relative_to(root).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        #: Dotted module name, e.g. ``repro.mem.streams`` (packages keep
+        #: their ``__init__`` suffix off: ``repro.serve``).
+        self.name = _module_name(path)
+        self._line_disables, self._file_disables = _parse_pragmas(self.lines)
+
+    def disabled(self, rule: str, line: int) -> bool:
+        """True when a pragma suppresses ``rule`` at ``line``."""
+        if rule in self._file_disables:
+            return True
+        return rule in self._line_disables.get(line, ())
+
+    def code_at(self, line: int) -> str:
+        """Stripped source text of one 1-indexed line."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        severity: str = "error",
+    ) -> Finding:
+        """Build a finding anchored to an AST node of this module."""
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=severity,
+            code=self.code_at(line),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Module({self.name!r})"
+
+
+@dataclass
+class Project:
+    """Every module under analysis plus shared lookup tables."""
+
+    root: Path
+    modules: list[Module] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.by_name: dict[str, Module] = {m.name: m for m in self.modules}
+
+    def module(self, name: str) -> Module | None:
+        return self.by_name.get(name)
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name of a file under a ``src``-layout tree."""
+    parts = list(path.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    else:  # fixture trees in tests: anchor at the last 'repro' segment
+        for i in range(len(parts) - 1, -1, -1):
+            if parts[i] == "repro":
+                parts = parts[i:]
+                break
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _parse_pragmas(
+    lines: list[str],
+) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    per_line: dict[int, frozenset[str]] = {}
+    file_wide: set[str] = set()
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA.search(text)
+        if not match:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if _PRAGMA_ONLY.match(text):
+            file_wide |= rules
+        else:
+            per_line[lineno] = rules
+    return per_line, frozenset(file_wide)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None.
+
+    The shared helper every rule uses to recognise call targets
+    (``np.random.default_rng``, ``time.sleep``, ``ctx.config.seed``).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

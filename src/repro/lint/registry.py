@@ -1,0 +1,85 @@
+"""The open rule registry: ``@register_rule`` + ``RPR…`` identifiers.
+
+Mirrors :mod:`repro.api.registry` exactly — rules are plugins in a
+:class:`~repro.api.registry.PluginRegistry` whose autoload target is
+:mod:`repro.lint.rules`, so importing :mod:`repro.lint` never pays for
+rule construction until the first lookup, and third-party rules can
+``@register_rule`` their own ``RPRxxx`` classes without touching core
+files.  Each rule's docstring is the documentation rendered into the
+docs site's rule catalogue (``docs/reference/lint-rules.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.api.registry import PluginRegistry
+from repro.lint.model import Finding, Module, Project
+
+__all__ = ["LintRule", "rule_registry", "register_rule"]
+
+
+class LintRule:
+    """Base class of invariant-checking rules.
+
+    Subclass, set the class attributes, implement :meth:`check_module`
+    (per-file analysis) and/or :meth:`check_project` (cross-module
+    analysis, called once after every module has been parsed), then
+    ``@register_rule``.
+
+    Class attributes
+    ----------------
+    name:
+        The rule identifier (``RPR101`` …) — the registry key, the
+        pragma/baseline token, and the prefix of every finding.
+    title:
+        One-line summary for listings and the docs catalogue.
+    severity:
+        ``error`` (fails the run) or ``warning`` (reported, never
+        fails); the runner stamps it onto each finding.
+    packages:
+        Dotted module prefixes this rule confines itself to; empty
+        means the whole analysed tree.
+    """
+
+    name: str = ""
+    title: str = ""
+    severity: str = "error"
+    packages: tuple[str, ...] = ()
+
+    def applies_to(self, module: Module) -> bool:
+        """Whether ``module`` is inside this rule's package scope."""
+        if not self.packages:
+            return True
+        return any(
+            module.name == pkg or module.name.startswith(pkg + ".")
+            for pkg in self.packages
+        )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        """Per-file findings (default: none)."""
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        """Cross-module findings (default: none)."""
+        return ()
+
+    @property
+    def description(self) -> str:
+        """First docstring line — what the registry listing shows."""
+        return self.title
+
+    def doc(self) -> str:
+        """Full rule documentation (the class docstring)."""
+        import inspect
+
+        return inspect.cleandoc(self.__doc__ or self.title)
+
+
+#: The RPR101–RPR106 invariant rules plus any third-party registrations.
+rule_registry: PluginRegistry = PluginRegistry(
+    "lint rule", autoload="repro.lint.rules"
+)
+
+#: Decorator registering a rule class under its ``RPR…`` name.
+register_rule: Callable = rule_registry.register

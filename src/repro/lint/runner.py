@@ -1,0 +1,154 @@
+"""The lint runner: collect files, parse once, apply every rule.
+
+One pass builds the :class:`~repro.lint.model.Project` (every ``.py``
+file parsed with :mod:`ast` — analysed code is never imported or
+executed), then each registered rule contributes module-level and
+project-level findings.  Pragma-suppressed findings are dropped,
+baselined findings are set aside, and the report separates *new*
+findings (fail the run) from *stale* baseline entries (also fail: the
+baseline may only shrink deliberately).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.model import Finding, Module, Project
+from repro.lint.registry import LintRule, rule_registry
+
+__all__ = ["LintReport", "REPO_ROOT", "collect_files", "load_rules", "run_lint"]
+
+#: The repository root this package ships in (``src/repro/lint`` → up 3).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass
+class LintReport:
+    """Everything one ``run_lint`` invocation produced."""
+
+    root: Path
+    files: int
+    rules: list[str]
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing new surfaced and the baseline is exact."""
+        return not self.findings and not self.stale
+
+    def to_json(self) -> dict:
+        """The stable machine-readable report (schema version 1)."""
+        return {
+            "version": 1,
+            "root": str(self.root),
+            "files": self.files,
+            "rules": list(self.rules),
+            "duration_s": round(self.duration_s, 3),
+            "ok": self.ok,
+            "findings": [f.to_json() for f in self.findings],
+            "baselined": [f.to_json() for f in self.baselined],
+            "stale_baseline_entries": [e.to_json() for e in self.stale],
+        }
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        for entry in self.stale:
+            lines.append(
+                f"{entry.path}: stale baseline entry for {entry.rule} "
+                f"({entry.code!r}) — the finding is gone; remove the entry"
+            )
+        lines.append(
+            f"{len(self.findings)} new finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.stale)} stale baseline entr"
+            f"{'y' if len(self.stale) == 1 else 'ies'}; "
+            f"{self.files} files, {len(self.rules)} rules, "
+            f"{self.duration_s:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, deterministic order."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            out.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(p in _SKIP_DIRS for p in candidate.parts):
+                    out.add(candidate.resolve())
+    return sorted(out)
+
+
+def load_rules(names: list[str] | None = None) -> list[LintRule]:
+    """Instantiate registered rules, optionally a named subset."""
+    selected = names if names is not None else sorted(rule_registry.names())
+    return [rule_registry.get(name)() for name in selected]
+
+
+def build_project(files: list[Path], root: Path) -> Project:
+    modules = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        modules.append(Module(path=path, root=root, source=source))
+    return Project(root=root, modules=modules)
+
+
+def run_lint(
+    paths: list[Path] | None = None,
+    *,
+    root: Path | None = None,
+    rules: list[LintRule] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Analyse ``paths`` (default: the shipped ``src/repro`` tree)."""
+    started = time.perf_counter()
+    root = (root or REPO_ROOT).resolve()
+    if paths is None:
+        paths = [root / "src" / "repro"]
+    if rules is None:
+        rules = load_rules()
+    if baseline is None:
+        baseline = Baseline()
+
+    files = collect_files(paths)
+    project = build_project(files, root)
+    by_relpath = {m.relpath: m for m in project.modules}
+
+    raw: list[Finding] = []
+    for rule in rules:
+        for module in project.modules:
+            if rule.applies_to(module):
+                raw.extend(rule.check_module(module))
+        raw.extend(rule.check_project(project))
+
+    # Pragma suppression, then split against the baseline.
+    kept: list[Finding] = []
+    for finding in raw:
+        module = by_relpath.get(finding.path)
+        if module is not None and module.disabled(finding.rule, finding.line):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    new = [f for f in kept if not baseline.contains(f)]
+    grandfathered = [f for f in kept if baseline.contains(f)]
+
+    return LintReport(
+        root=root,
+        files=len(files),
+        rules=[r.name for r in rules],
+        findings=new,
+        baselined=grandfathered,
+        stale=baseline.stale_entries(kept),
+        duration_s=time.perf_counter() - started,
+    )

@@ -554,7 +554,7 @@ class HierarchySimulator:
         states = [cache.tile_state() for cache in self.levels]
         for tile in tiles:
             current = np.asarray(tile, dtype=np.int64)
-            for cache, state in zip(self.levels, states):
+            for cache, state in zip(self.levels, states, strict=True):
                 if current.size == 0:
                     break
                 mask = cache.miss_mask_tile(current, state)

@@ -180,7 +180,7 @@ def execute_distributed(
                     hot_scale=part.hot_scale,
                     phase=part.phase,
                 )
-                for template, part in zip(program.templates, trace.template_traces)
+                for template, part in zip(program.templates, trace.template_traces, strict=True)
             ),
             bp_template=trace.bp_template,
             bp_instance=trace.bp_instance,
@@ -189,7 +189,7 @@ def execute_distributed(
     )
 
     coalesced = []
-    for t_idx, template in enumerate(program.templates):
+    for t_idx, _template in enumerate(program.templates):
         parts = [trace.template_traces[t_idx] for trace in rank_traces]
         raw = first.template_traces[t_idx]
         coalesced.append(

@@ -66,7 +66,7 @@ def execute_program(
     counts = program.instance_counts()
     template_traces: list[TemplateTrace] = []
 
-    for template, n_inst in zip(program.templates, counts):
+    for template, n_inst in zip(program.templates, counts, strict=True):
         n_inst = int(n_inst)
         n_blocks = template.n_blocks
         if n_inst == 0:

@@ -300,14 +300,14 @@ class ReproServer:
         elif len(route) == 2 and route[0] == "cells":
             if request.method != "GET":
                 raise HttpError(405, "cell lookup accepts GET")
-            body = self._get_cell(route[1], request)
+            body = await self._get_cell(route[1], request)
         elif len(route) == 3 and route == ("cells", route[1], "events"):
             if request.method != "GET":
                 raise HttpError(405, "events accepts GET")
             await self._stream_events(route[1], writer)
             return True  # close-delimited stream
         elif route == ("status",):
-            body = self._get_status()
+            body = await self._get_status()
         elif route == ("healthz",):
             body = (200, {"ok": True, "draining": self._draining})
         else:
@@ -362,9 +362,14 @@ class ReproServer:
             # Disk warm hit: the mmap'd container answers without any
             # scheduling (uncached kinds have no cell-level entry and
             # always execute — their stages still hit the stage store).
+            # The container read touches disk, so it runs on the
+            # executor, never on the event loop thread.
             payload = None
             if study_request.kind not in CELL_LEVEL_UNCACHED:
-                payload = store.load(study_request)
+                loop = asyncio.get_running_loop()
+                payload = await loop.run_in_executor(
+                    self._executor, store.load, study_request
+                )
             if payload is not None:
                 self.counters["warm_disk"] += 1
                 record = self.coalescer.complete(
@@ -434,7 +439,9 @@ class ReproServer:
             body["result"] = payload_to_jsonable(record.result)
         return body
 
-    def _get_cell(self, digest: str, request: HttpRequest) -> tuple[int, dict]:
+    async def _get_cell(
+        self, digest: str, request: HttpRequest
+    ) -> tuple[int, dict]:
         record = self.coalescer.get(digest)
         if record is not None:
             if record.state == "failed":
@@ -445,9 +452,13 @@ class ReproServer:
             return 202, self._cell_body(record)
         # Unknown to this process: probe the sharded store by digest —
         # cells computed by the batch CLI (or before a restart) answer
-        # straight from their mmap'd container.
-        for scale, store in self.stores.items():
-            payload = store.load_by_digest(digest)
+        # straight from their mmap'd container.  Container probes read
+        # disk, so they run on the executor.
+        loop = asyncio.get_running_loop()
+        for store in self.stores.values():
+            payload = await loop.run_in_executor(
+                self._executor, store.load_by_digest, digest
+            )
             if payload is not None:
                 self.counters["warm_disk"] += 1
                 status = CellStatus(digest=digest, state="done", source="disk")
@@ -472,11 +483,13 @@ class ReproServer:
             writer.write(json.dumps(event, sort_keys=True).encode() + b"\n")
             await writer.drain()
 
-    def _get_status(self) -> tuple[int, dict]:
+    async def _get_status(self) -> tuple[int, dict]:
         # Both scales share one stage store per cache_dir, so either
-        # config reaches the same counters.
+        # config reaches the same counters.  The eviction scan walks
+        # every shard directory on disk — executor work, not loop work.
         stats = stage_store_for(self.configs["quick"]).stats.snapshot()
-        entries = self.evictor.scan()
+        loop = asyncio.get_running_loop()
+        entries = await loop.run_in_executor(self._executor, self.evictor.scan)
         shards = {str(entry.path.parent) for entry in entries}
         status = ServerStatus(
             cache_version=cache_version(),

@@ -56,7 +56,7 @@ def render_table(
             widths[i] = max(widths[i], len(cell))
 
     def fmt_row(cells: Sequence[str]) -> str:
-        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths, strict=True))
 
     sep = "-+-".join("-" * w for w in widths)
     lines = []

@@ -16,13 +16,13 @@ share drops well under the cliff and the estimate snaps back.
 
 from __future__ import annotations
 
+from repro.api.registry import register_workload
 from repro.ir.memory import MemoryPattern, PatternKind
 from repro.ir.mix import InstructionMix
 from repro.ir.program import Program
 from repro.ir.regions import Drift
 from repro.isa.descriptors import ISA
 from repro.util.units import KIB, MIB
-from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["AMGMk"]

@@ -12,13 +12,13 @@ representatives (Table III).  Total: 1 + 4 + 192 = 197 barrier points.
 
 from __future__ import annotations
 
+from repro.api.registry import register_workload
 from repro.ir.memory import MemoryPattern, PatternKind
 from repro.ir.mix import InstructionMix
 from repro.ir.program import Program
 from repro.ir.regions import Drift
 from repro.isa.descriptors import ISA
 from repro.util.units import KIB, MIB
-from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["Graph500"]

@@ -18,12 +18,12 @@ them sitting near L2 capacity cliffs.
 
 from __future__ import annotations
 
+from repro.api.registry import register_workload
 from repro.ir.memory import MemoryPattern, PatternKind
 from repro.ir.mix import InstructionMix
 from repro.ir.program import Program
 from repro.isa.descriptors import ISA
 from repro.util.units import KIB, MIB
-from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["LULESH"]

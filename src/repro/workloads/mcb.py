@@ -17,13 +17,13 @@ error, which is what the Figure 1 bench demonstrates.
 
 from __future__ import annotations
 
+from repro.api.registry import register_workload
 from repro.ir.memory import MemoryPattern, PatternKind
 from repro.ir.mix import InstructionMix
 from repro.ir.program import Program
 from repro.ir.regions import Drift
 from repro.isa.descriptors import ISA
 from repro.util.units import KIB
-from repro.api.registry import register_workload
 from repro.workloads.base import ProxyApp, build_region, flatten_sequence
 
 __all__ = ["MCB"]

@@ -104,7 +104,7 @@ class TestTraceConsistency:
         x86 = pipeline.trace(ISA.X86_64)
         arm = pipeline.trace(ISA.ARMV8)
         assert np.array_equal(x86.bp_template, arm.bp_template)
-        for a, b in zip(x86.template_traces, arm.template_traces):
+        for a, b in zip(x86.template_traces, arm.template_traces, strict=True):
             assert np.array_equal(a.iters, b.iters)
 
     def test_counters_cached(self, minife_pipeline):

@@ -7,8 +7,7 @@ the columnar container and the legacy base64 plane bit-for-bit.
 """
 
 import numpy as np
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 from hypothesis.extra.numpy import array_shapes, arrays, from_dtype
 
 from repro.api.codec import (
@@ -83,7 +82,7 @@ def _trees_equal(left, right) -> bool:
         return (
             isinstance(right, (list, tuple))
             and len(left) == len(right)
-            and all(_trees_equal(a, b) for a, b in zip(left, right))
+            and all(_trees_equal(a, b) for a, b in zip(left, right, strict=True))
         )
     return left == right or (left != left and right != right)
 

@@ -5,10 +5,9 @@ from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.reconstruction import reconstruct_totals
 from repro.core.selection import BarrierPointSelection
-from repro.ir.memory import PatternKind
+from repro.ir.memory import MemoryPattern, PatternKind
 from repro.mem.hierarchy import miss_fraction, miss_probability
 from repro.mem.ldv import pattern_ldv_rows
-from repro.ir.memory import MemoryPattern
 from repro.runtime.scheduler import split_iterations, thread_shares
 from repro.util.stats import relative_error
 

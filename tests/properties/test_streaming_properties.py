@@ -132,6 +132,6 @@ def test_tiled_hierarchy_equals_monolithic(lines, tile_size):
     tiled = HierarchySimulator(levels()).simulate_tiled(
         iter_array_tiles(arr, tile_size)
     )
-    for got, want in zip(tiled, mono):
+    for got, want in zip(tiled, mono, strict=True):
         assert got.accesses == want.accesses
         assert got.misses == want.misses

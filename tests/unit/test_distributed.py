@@ -162,8 +162,8 @@ class TestExecuteDistributed:
         assert trace.threads_per_rank == 2
         assert trace.n_barrier_points == program.n_barrier_points
         np.testing.assert_array_equal(trace.bp_template, program.sequence)
-        for template_trace, template in zip(
-            trace.template_traces, program.templates
+        for template_trace, _template in zip(
+            trace.template_traces, program.templates, strict=True
         ):
             assert template_trace.iters.shape[2] == 8
         for rank in range(4):
@@ -178,7 +178,7 @@ class TestExecuteDistributed:
         one = execute_distributed(program, SCALAR_X86, 1, 2, rng.child("s"))
         four = execute_distributed(program, SCALAR_X86, 4, 2, rng.child("s"))
         for template, tt_one, tt_four in zip(
-            program.templates, one.template_traces, four.template_traces
+            program.templates, one.template_traces, four.template_traces, strict=True
         ):
             if tt_one.n_instances == 0:
                 continue

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.experiments.figure2 import Figure2, Figure2Panel, Figure2Point, PANEL_IDS
+from repro.experiments.figure2 import PANEL_IDS, Figure2, Figure2Panel, Figure2Point
 from repro.experiments.runner import ConfigSummary, StudySummary
 from repro.experiments.table3 import PAPER_TABLE3, Table3
 from repro.experiments.table4 import PAPER_TABLE4, Table4, Table4Row

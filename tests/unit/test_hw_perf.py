@@ -14,7 +14,7 @@ from repro.hw.measure import (
 )
 from repro.hw.perf import PerfModel
 from repro.hw.pmu import CYCLES, INSTRUCTIONS, L1D_MISSES, L2D_MISSES
-from repro.isa.descriptors import BinaryConfig, ISA
+from repro.isa.descriptors import ISA, BinaryConfig
 from repro.runtime.execution import execute_program
 
 

@@ -9,7 +9,7 @@ from repro.instrumentation.bbv import collect_bbv
 from repro.instrumentation.collector import BarrierPointCollector
 from repro.instrumentation.ldv import collect_ldv
 from repro.instrumentation.roi import mark_roi
-from repro.isa.descriptors import BinaryConfig, ISA
+from repro.isa.descriptors import ISA, BinaryConfig
 from repro.mem.ldv import N_DISTANCE_BINS
 from repro.runtime.execution import execute_program
 
@@ -56,7 +56,7 @@ class TestLdv:
     def test_access_counts_conserved(self, trace):
         ldv = collect_ldv(trace, per_thread=False)
         expected = 0.0
-        for template, ttrace in zip(trace.program.templates, trace.template_traces):
+        for template, ttrace in zip(trace.program.templates, trace.template_traces, strict=True):
             for b_idx, block in enumerate(template.blocks):
                 expected += (
                     ttrace.iters[:, b_idx, :].sum() * block.mix.memory_accesses

@@ -7,8 +7,8 @@ from repro.isa.descriptors import (
     ADVSIMD,
     ALL_BINARIES,
     AVX,
-    BinaryConfig,
     ISA,
+    BinaryConfig,
     binary_config,
 )
 from repro.isa.lowering import lower_mix

@@ -1,0 +1,626 @@
+"""Unit tests for the ``repro lint`` rules, runner, baseline, and CLI.
+
+Each rule gets minimal positive/negative AST fixtures (source strings
+written into a throwaway ``src/repro`` tree), the suppression layers
+(pragmas, baseline) get exercised end to end, and the integration tests
+assert the shipped tree is clean modulo the committed baseline, that a
+seeded violation of every rule exits non-zero, and that the JSON report
+schema stays stable.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.cli import lint_main
+from repro.lint.model import Finding
+from repro.lint.registry import rule_registry
+from repro.lint.runner import REPO_ROOT, build_project, collect_files, run_lint
+
+RULE_IDS = ("RPR101", "RPR102", "RPR103", "RPR104", "RPR105", "RPR106")
+
+
+def make_tree(tmp_path, files):
+    """Write ``{relpath: source}`` under a throwaway repo root."""
+    root = tmp_path / "proj"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def make_project(tmp_path, files):
+    root = make_tree(tmp_path, files)
+    return build_project(collect_files([root]), root)
+
+
+def findings_of(rule_name, project):
+    rule = rule_registry.get(rule_name)()
+    out = []
+    for module in project.modules:
+        if rule.applies_to(module):
+            out.extend(rule.check_module(module))
+    out.extend(rule.check_project(project))
+    return out
+
+
+def rules_fired(findings):
+    return {f.rule for f in findings}
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert set(RULE_IDS) <= set(rule_registry.names())
+
+    def test_rules_carry_docs_and_severity(self):
+        for name in RULE_IDS:
+            rule = rule_registry.get(name)()
+            assert rule.name == name
+            assert rule.title
+            assert rule.severity in ("error", "warning")
+            assert len(rule.doc()) > 80  # real documentation, not a stub
+
+
+class TestRPR101Determinism:
+    def test_flags_random_import_and_clock_calls(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "src/repro/mem/bad.py": """\
+                import random
+                import time
+                import numpy as np
+
+                def f():
+                    t = time.time()
+                    return t, np.random.rand(3), np.random.default_rng(0)
+                """
+            },
+        )
+        found = findings_of("RPR101", project)
+        assert len(found) == 4  # import, time.time, rand, default_rng
+        assert all(f.rule == "RPR101" for f in found)
+
+    def test_clean_kernel_and_out_of_scope_module_pass(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                # Kernels that take a Generator parameter are the idiom.
+                "src/repro/mem/good.py": """\
+                def f(gen):
+                    return gen.integers(0, 10)
+                """,
+                # util/rng is outside the kernel packages: sanctioned.
+                "src/repro/util/rng.py": """\
+                import numpy as np
+
+                def make(seed):
+                    return np.random.default_rng(seed)
+                """,
+            },
+        )
+        assert findings_of("RPR101", project) == []
+
+
+class TestRPR102OrderHazards:
+    def test_flags_set_iteration_and_materialisation(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "src/repro/ir/bad.py": """\
+                def f(a, b):
+                    total = 0
+                    for x in {1, 2, 3}:
+                        total += x
+                    names = list(set(a) | set(b))
+                    joined = ",".join({str(x) for x in a})
+                    return total, names, joined
+                """
+            },
+        )
+        found = findings_of("RPR102", project)
+        assert len(found) == 3
+
+    def test_sorted_wrapping_and_membership_pass(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "src/repro/ir/good.py": """\
+                def f(a, b):
+                    total = 0
+                    for x in sorted(set(a) | set(b)):
+                        total += x
+                    return total, (3 in {1, 2, 3}), len(set(a))
+                """
+            },
+        )
+        assert findings_of("RPR102", project) == []
+
+
+_STAGE_PRELUDE = """\
+from repro.api.stage import Stage
+
+"""
+
+
+class TestRPR103CacheKeyCompleteness:
+    def test_flags_config_read_missing_from_cache_key(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "src/repro/api/leaky.py": _STAGE_PRELUDE
+                + textwrap.dedent("""\
+                class LeakyStage(Stage):
+                    name = "leaky"
+
+                    def run(self, ctx):
+                        return ctx.config.hidden_knob
+
+                    def cache_key(self, ctx):
+                        return "leaky-v1"
+                """)
+            },
+        )
+        found = findings_of("RPR103", project)
+        assert len(found) == 1
+        assert "hidden_knob" in found[0].message
+
+    def test_helper_closure_and_inheritance_resolve(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "src/repro/api/covered.py": _STAGE_PRELUDE
+                + textwrap.dedent("""\
+                class CoveredStage(Stage):
+                    name = "covered"
+
+                    def _effective(self, ctx):
+                        return ctx.config.knob
+
+                    def run(self, ctx):
+                        return self._effective(ctx)
+
+                    def cache_key(self, ctx):
+                        return f"covered-{self._effective(ctx)}"
+
+
+                class ChildStage(CoveredStage):
+                    name = "child"
+                """)
+            },
+        )
+        assert findings_of("RPR103", project) == []
+
+
+class TestRPR104StageContract:
+    def test_flags_undeclared_reads_writes_and_dead_inputs(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "src/repro/api/rogue.py": _STAGE_PRELUDE
+                + textwrap.dedent("""\
+                class RogueStage(Stage):
+                    name = "rogue"
+                    inputs = ("a", "unused")
+                    outputs = ("b",)
+
+                    def run(self, ctx):
+                        value = ctx.require("a") + ctx.get("mystery")
+                        ctx.put("c", value)
+
+                    def cache_key(self, ctx):
+                        return "rogue-v1"
+                """)
+            },
+        )
+        messages = [f.message for f in findings_of("RPR104", project)]
+        assert len(messages) == 3
+        assert any("'mystery'" in m for m in messages)  # undeclared read
+        assert any("'c'" in m for m in messages)  # undeclared write
+        assert any("'unused'" in m for m in messages)  # dead input
+
+    def test_matching_contract_passes(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "src/repro/api/honest.py": _STAGE_PRELUDE
+                + textwrap.dedent("""\
+                class HonestStage(Stage):
+                    name = "honest"
+                    inputs = ("a",)
+                    outputs = ("b",)
+
+                    def run(self, ctx):
+                        ctx.put("b", ctx.require("a") + ctx.get("b", 0))
+
+                    def cache_key(self, ctx):
+                        return "honest-v1"
+                """)
+            },
+        )
+        assert findings_of("RPR104", project) == []
+
+
+class TestRPR105AsyncHygiene:
+    def test_flags_direct_and_transitive_blocking(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "src/repro/serve/bad.py": """\
+                import time
+
+                class Server:
+                    def _scan(self):
+                        return self.store.load_by_digest("x")
+
+                    async def handler(self):
+                        time.sleep(1)
+                        open("f").read()
+                        return self._scan()
+                """
+            },
+        )
+        found = findings_of("RPR105", project)
+        assert len(found) == 3
+        assert any("_scan" in f.message for f in found)
+
+    def test_executor_handoff_and_async_sleep_pass(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "src/repro/serve/good.py": """\
+                import asyncio
+
+                class Server:
+                    async def handler(self):
+                        loop = asyncio.get_running_loop()
+
+                        def _work():
+                            return self.store.load_by_digest("x")
+
+                        await asyncio.sleep(0.1)
+                        return await loop.run_in_executor(None, _work)
+                """
+            },
+        )
+        assert findings_of("RPR105", project) == []
+
+
+_REGISTRY_FIXTURE = {
+    "src/repro/api/registry.py": """\
+    class PluginRegistry:
+        def __init__(self, kind, autoload=None):
+            self.kind = kind
+
+    workload_registry = PluginRegistry("workload", autoload="repro.workloads.registry")
+    register_workload = workload_registry
+    """,
+}
+
+
+class TestRPR106RegistryDrift:
+    def test_flags_unreachable_registering_module(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                **_REGISTRY_FIXTURE,
+                "src/repro/workloads/registry.py": "",
+                "src/repro/workloads/orphan.py": """\
+                from repro.api.registry import register_workload
+
+                @register_workload
+                class Orphan:
+                    name = "orphan"
+                """,
+            },
+        )
+        found = findings_of("RPR106", project)
+        assert len(found) == 1
+        assert "repro.workloads.orphan" in found[0].message
+
+    def test_module_imported_from_autoload_passes(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                **_REGISTRY_FIXTURE,
+                "src/repro/workloads/registry.py": (
+                    "from repro.workloads import wired\n"
+                ),
+                "src/repro/workloads/wired.py": """\
+                from repro.api.registry import register_workload
+
+                @register_workload
+                class Wired:
+                    name = "wired"
+                """,
+            },
+        )
+        assert findings_of("RPR106", project) == []
+
+
+class TestSuppression:
+    def test_line_pragma_suppresses_one_finding(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "src/repro/mem/mixed.py": """\
+                import time
+
+                def f():
+                    a = time.time()  # repro-lint: disable=RPR101
+                    b = time.time()
+                    return a, b
+                """
+            },
+        )
+        report = run_lint([root / "src" / "repro"], root=root)
+        assert [f.line for f in report.findings] == [5]
+
+    def test_standalone_pragma_disables_file_wide(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "src/repro/mem/waived.py": """\
+                # repro-lint: disable=RPR101,RPR102
+                import time
+
+                def f():
+                    for x in {1, 2}:
+                        pass
+                    return time.time()
+                """
+            },
+        )
+        report = run_lint([root / "src" / "repro"], root=root)
+        assert report.findings == []
+
+
+class TestBaseline:
+    def _finding(self, code="x = time.time()"):
+        return Finding(
+            rule="RPR101",
+            path="src/repro/mem/a.py",
+            line=10,
+            col=5,
+            message="m",
+            code=code,
+        )
+
+    def test_fingerprint_ignores_line_numbers(self):
+        a = self._finding()
+        b = Finding(**{**a.__dict__, "line": 99, "col": 1})
+        assert a.fingerprint == b.fingerprint
+
+    def test_match_stale_and_justification_round_trip(self, tmp_path):
+        finding = self._finding()
+        entry = BaselineEntry.from_finding(finding, "known and accepted")
+        baseline = Baseline(entries=[entry])
+        assert baseline.contains(finding)
+        assert baseline.stale_entries([finding]) == []
+        assert baseline.stale_entries([]) == [entry]
+
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == [entry]
+
+    def test_justification_is_mandatory(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {"rule": "RPR101", "path": "a.py", "code": "x"}
+                    ],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(path)
+
+    def test_baselined_findings_do_not_fail(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "src/repro/mem/legacy.py": """\
+                import time
+
+                def f():
+                    return time.time()
+                """
+            },
+        )
+        unbaselined = run_lint([root / "src" / "repro"], root=root)
+        assert not unbaselined.ok
+        baseline = Baseline(
+            entries=[
+                BaselineEntry.from_finding(f, "grandfathered")
+                for f in unbaselined.findings
+            ]
+        )
+        report = run_lint(
+            [root / "src" / "repro"], root=root, baseline=baseline
+        )
+        assert report.ok
+        assert len(report.baselined) == 1
+
+    def test_removing_an_entry_resurfaces_the_finding(self):
+        """Deleting any committed baseline entry must fail the run."""
+        committed = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        assert len(committed) >= 1
+        for drop in range(len(committed)):
+            entries = [
+                e for i, e in enumerate(committed.entries) if i != drop
+            ]
+            report = run_lint(baseline=Baseline(entries=entries))
+            assert len(report.findings) == 1
+            assert report.findings[0].fingerprint == (
+                committed.entries[drop].fingerprint
+            )
+
+
+_SEEDED_VIOLATIONS = {
+    "RPR101": {
+        "src/repro/mem/v.py": "import time\n\n\ndef f():\n    return time.time()\n"
+    },
+    "RPR102": {
+        "src/repro/mem/v.py": (
+            "def f():\n    return [x for x in {1, 2, 3}]\n"
+        )
+    },
+    "RPR103": {
+        "src/repro/api/v.py": _STAGE_PRELUDE
+        + (
+            "class V(Stage):\n"
+            "    name = 'v'\n\n"
+            "    def run(self, ctx):\n"
+            "        return ctx.config.knob\n\n"
+            "    def cache_key(self, ctx):\n"
+            "        return 'v'\n"
+        )
+    },
+    "RPR104": {
+        "src/repro/api/v.py": _STAGE_PRELUDE
+        + (
+            "class V(Stage):\n"
+            "    name = 'v'\n"
+            "    outputs = ('b',)\n\n"
+            "    def run(self, ctx):\n"
+            "        ctx.put('other', 1)\n"
+        )
+    },
+    "RPR105": {
+        "src/repro/serve/v.py": (
+            "import time\n\n\nasync def f():\n    time.sleep(1)\n"
+        )
+    },
+    "RPR106": {
+        **_REGISTRY_FIXTURE,
+        "src/repro/workloads/registry.py": "",
+        "src/repro/workloads/v.py": (
+            "from repro.api.registry import register_workload\n\n\n"
+            "@register_workload\n"
+            "class V:\n"
+            "    name = 'v'\n"
+        ),
+    },
+}
+
+
+class TestCli:
+    @pytest.mark.parametrize("rule", RULE_IDS)
+    def test_seeded_violation_of_each_rule_exits_nonzero(
+        self, rule, tmp_path, capsys
+    ):
+        root = make_tree(tmp_path, _SEEDED_VIOLATIONS[rule])
+        code = lint_main(
+            ["--root", str(root), "--no-baseline", str(root / "src/repro")]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert rule in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = make_tree(
+            tmp_path, {"src/repro/mem/ok.py": "def f(gen):\n    return 1\n"}
+        )
+        code = lint_main(
+            ["--root", str(root), "--no-baseline", str(root / "src/repro")]
+        )
+        assert code == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_json_schema_is_stable(self, tmp_path, capsys):
+        root = make_tree(tmp_path, _SEEDED_VIOLATIONS["RPR101"])
+        code = lint_main(
+            [
+                "--root",
+                str(root),
+                "--no-baseline",
+                "--format",
+                "json",
+                str(root / "src/repro"),
+            ]
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {
+            "version",
+            "root",
+            "files",
+            "rules",
+            "duration_s",
+            "ok",
+            "findings",
+            "baselined",
+            "stale_baseline_entries",
+        }
+        assert report["version"] == 1
+        assert report["ok"] is False
+        assert list(report["rules"]) == list(RULE_IDS)
+        (finding,) = report["findings"]
+        assert set(finding) == {
+            "rule",
+            "path",
+            "line",
+            "col",
+            "severity",
+            "message",
+            "code",
+            "fingerprint",
+        }
+
+    def test_fix_baseline_writes_and_subsequent_run_is_clean(
+        self, tmp_path, capsys
+    ):
+        root = make_tree(tmp_path, _SEEDED_VIOLATIONS["RPR101"])
+        baseline_path = root / "lint-baseline.json"
+        assert (
+            lint_main(
+                [
+                    "--root",
+                    str(root),
+                    "--fix-baseline",
+                    str(root / "src/repro"),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(baseline_path.read_text())
+        assert len(data["entries"]) == 1
+        capsys.readouterr()
+        assert (
+            lint_main(["--root", str(root), str(root / "src/repro")]) == 0
+        )
+
+    def test_unknown_rule_is_a_usage_error(self, capsys):
+        assert lint_main(["--rules", "RPR999"]) == 2
+        assert "RPR999" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULE_IDS:
+            assert rule in out
+
+
+class TestLiveTree:
+    def test_shipped_tree_is_clean_modulo_baseline_and_fast(self):
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        report = run_lint(baseline=baseline)
+        assert report.findings == []
+        assert report.stale == []
+        assert report.ok
+        assert list(report.rules) == list(RULE_IDS)
+        assert report.files > 100
+        assert report.duration_s < 10.0
+
+    def test_cli_entry_point_dispatches_lint(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--list-rules"]) == 0
+        assert "RPR101" in capsys.readouterr().out

@@ -27,7 +27,7 @@ class TestPapiSession:
         session = self._session()
         true = np.array([1e9, 5e8, 1e6, 2e5])
         reading = session.read_region(true, threads=1)
-        for name, value in zip(PAPI_EVENTS, true):
+        for name, value in zip(PAPI_EVENTS, true, strict=True):
             assert reading[name] == pytest.approx(value, rel=0.1)
             assert reading[name] != value  # overhead + noise
 

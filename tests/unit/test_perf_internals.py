@@ -3,14 +3,14 @@
 import numpy as np
 import pytest
 
+from repro.hw.machines import APM_XGENE, INTEL_I7_3770
 from repro.hw.perf import (
     BLOCK_SIGMA_CPI,
+    PerfModel,
     _block_factor,
     _cliff_weight,
-    PerfModel,
 )
-from repro.hw.machines import APM_XGENE, INTEL_I7_3770
-from repro.isa.descriptors import BinaryConfig, ISA
+from repro.isa.descriptors import ISA, BinaryConfig
 from repro.runtime.execution import execute_program
 
 

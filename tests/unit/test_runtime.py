@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ir.program import Program
-from repro.isa.descriptors import BinaryConfig, ISA
+from repro.isa.descriptors import ISA, BinaryConfig
 from repro.runtime.barriers import SPIN_IPC, SPIN_WINDOW_CYCLES, barrier_spin
 from repro.runtime.execution import execute_program
 from repro.runtime.interleave import signature_jitter_sigma
@@ -114,7 +114,7 @@ class TestExecuteProgram:
     def test_structural_determinism_across_binaries(self, toy_program, rng_tree):
         x86 = execute_program(toy_program, BinaryConfig(ISA.X86_64, False), 4, rng_tree)
         arm = execute_program(toy_program, BinaryConfig(ISA.ARMV8, True), 4, rng_tree)
-        for a, b in zip(x86.template_traces, arm.template_traces):
+        for a, b in zip(x86.template_traces, arm.template_traces, strict=True):
             assert np.array_equal(a.iters, b.iters)
             assert np.array_equal(a.footprint_scale, b.footprint_scale)
 

@@ -13,7 +13,7 @@ class TestHPCGStructure:
         program = create("HPCG").program(8, ISA.X86_64)
         counts = program.instance_counts()
         by_name = {
-            t.name: int(c) for t, c in zip(program.templates, counts)
+            t.name: int(c) for t, c in zip(program.templates, counts, strict=True)
         }
         assert by_name["setup_halo"] == 5
         assert by_name["symgs_level0"] == 2 * 38
@@ -63,7 +63,7 @@ class TestMiniFEStructure:
     def test_cg_iteration_shape(self):
         program = create("miniFE").program(8, ISA.X86_64)
         counts = program.instance_counts()
-        by_name = {t.name: int(c) for t, c in zip(program.templates, counts)}
+        by_name = {t.name: int(c) for t, c in zip(program.templates, counts, strict=True)}
         assert by_name == {
             "fe_assembly": 8,
             "sparse_matvec": 200,
@@ -76,7 +76,7 @@ class TestMiniFEStructure:
         matvec = next(t for t in program.templates if t.name == "sparse_matvec")
         total = sum(
             t.abstract_instructions() * int(c)
-            for t, c in zip(program.templates, program.instance_counts())
+            for t, c in zip(program.templates, program.instance_counts(), strict=True)
         )
         fraction = matvec.abstract_instructions() / total
         assert fraction == pytest.approx(0.00425, rel=0.25)  # paper: 0.43%
@@ -86,8 +86,8 @@ class TestLULESHStructure:
     def test_thread_only_regions(self):
         p1 = create("LULESH").program(1, ISA.X86_64)
         p8 = create("LULESH").program(8, ISA.X86_64)
-        c1 = {t.name: int(c) for t, c in zip(p1.templates, p1.instance_counts())}
-        c8 = {t.name: int(c) for t, c in zip(p8.templates, p8.instance_counts())}
+        c1 = {t.name: int(c) for t, c in zip(p1.templates, p1.instance_counts(), strict=True)}
+        c8 = {t.name: int(c) for t, c in zip(p8.templates, p8.instance_counts(), strict=True)}
         assert c1["ReduceDtSplit"] == 0
         assert c8["ReduceDtSplit"] == 20
         assert c1["CalcHourglassForce"] == c8["CalcHourglassForce"] == 20

@@ -118,7 +118,7 @@ class TestWorkloadStructure:
         counts = program.instance_counts()
         shares = {}
         total = 0.0
-        for template, count in zip(program.templates, counts):
+        for template, count in zip(program.templates, counts, strict=True):
             ops = template.abstract_instructions() * int(count)
             shares[template.name] = ops
             total += ops
@@ -134,7 +134,7 @@ class TestWorkloadStructure:
         kron_ops = kron.abstract_instructions()
         total = sum(
             t.abstract_instructions() * int(c)
-            for t, c in zip(program.templates, counts)
+            for t, c in zip(program.templates, counts, strict=True)
         )
         assert 0.2 < kron_ops / total < 0.4
 
@@ -145,7 +145,7 @@ class TestWorkloadStructure:
         counts = program.instance_counts()
         tiny = 0
         total = 0
-        for template, count in zip(program.templates, counts):
+        for template, count in zip(program.templates, counts, strict=True):
             total += int(count)
             if template.abstract_instructions() < 100_000:
                 tiny += int(count)
