@@ -18,6 +18,7 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro all             # every artefact from one scheduled pass
     repro workloads       # registered workload plugins ('list' is an alias)
     repro machines        # registered machine plugins
+    repro machines ingest # ingest a captured host (or '-' for live /sys)
     repro stages          # registered pipeline stages
     repro serve           # always-on artifact service (JSON over HTTP)
     repro client          # command-line client for a running daemon
@@ -144,6 +145,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "scale, 200k at quick scale)",
     )
     parser.add_argument(
+        "--machine-spec",
+        action="append",
+        default=None,
+        metavar="PATH",
+        dest="machine_specs",
+        help="register an ingested machine spec file (repeatable; see "
+        "'repro machines ingest --save')",
+    )
+    parser.add_argument(
+        "--machines",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="extra machine names appended to the scaling/ranks/trace "
+        "grids (must be registered, e.g. via --machine-spec)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk study cache"
     )
     parser.add_argument(
@@ -181,6 +198,12 @@ def _config_from_args(args: argparse.Namespace):
                 f"error: --trace-accesses must be >= 0, got {args.trace_accesses}"
             )
         overrides["trace_accesses"] = args.trace_accesses
+    if getattr(args, "machine_specs", None):
+        overrides["machine_specs"] = tuple(args.machine_specs)
+    if getattr(args, "machines", None):
+        overrides["machines"] = tuple(
+            name.strip() for name in args.machines.split(",") if name.strip()
+        )
     config = default_config(scale, **overrides)
     if getattr(args, "max_k", None) is not None:
         from dataclasses import replace as _replace
@@ -237,6 +260,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv[:2] == ["machines", "ingest"]:
+        from repro.hw.ingest.cli import ingest_main
+
+        return ingest_main(argv[2:])
 
     args = _build_parser().parse_args(argv)
 
@@ -264,6 +291,24 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     config = _config_from_args(args)
+
+    if config.machine_specs or config.machines:
+        # Fail fast on a bad spec path or a typo'd machine name before
+        # any cell is scheduled; the executors re-register in workers.
+        from repro.api.registry import machine_registry
+        from repro.experiments.config import register_config_machines
+
+        try:
+            register_config_machines(config)
+            for name in config.machines:
+                machine_registry.get(name)
+        except (OSError, ValueError, KeyError) as exc:
+            # str(KeyError) wraps the name in quotes; str(OSError) keeps
+            # the filename, which args[0] (the bare errno) would lose.
+            message = exc.args[0] if isinstance(exc, KeyError) else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+
     scheduler = StudyScheduler(config)
 
     if args.experiment == "all":

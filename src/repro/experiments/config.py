@@ -17,7 +17,13 @@ from repro.api.types import PipelineConfig
 from repro.clustering.simpoint import SimPointOptions
 from repro.hw.measure import MeasurementProtocol
 
-__all__ = ["ExperimentConfig", "default_config", "SCALES"]
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "register_config_machines",
+    "grid_machines",
+    "SCALES",
+]
 
 #: Recognised protocol scales.
 SCALES = ("full", "quick")
@@ -59,6 +65,16 @@ class ExperimentConfig:
         stream itself is generated in fixed granules — see
         :data:`repro.mem.streams.GEN_BLOCK`), so this knob bounds peak
         memory without entering the cache fingerprint.
+    machine_specs:
+        Paths of ingested machine spec files (``repro machines ingest
+        --save``; see :mod:`repro.hw.ingest`).  Loaded and registered by
+        :func:`register_config_machines` — called by the CLI and at the
+        top of every grid-cell executor, because worker processes start
+        with only the built-in machines.
+    machines:
+        Extra machine names appended to the scaling/ranks/trace grids —
+        the way ingested machines become first-class grid citizens.
+        Names must be registered (built-in or via ``machine_specs``).
     """
 
     thread_counts: tuple[int, ...] = (1, 2, 4, 8)
@@ -72,6 +88,8 @@ class ExperimentConfig:
     backend: str | None = None
     trace_accesses: int = 10_000_000
     trace_tile_size: int = 1 << 20
+    machine_specs: tuple[str, ...] = ()
+    machines: tuple[str, ...] = ()
 
     def pipeline_config(self) -> PipelineConfig:
         """The per-configuration pipeline parameters."""
@@ -82,6 +100,29 @@ class ExperimentConfig:
             bbv_weight=self.bbv_weight,
             seed=self.seed,
         )
+
+
+def register_config_machines(config: ExperimentConfig) -> None:
+    """Register the config's ingested machine specs (idempotent).
+
+    Every grid-cell executor calls this first: study cells run in
+    worker processes whose registries hold only the built-in machines,
+    and the spec files in ``config.machine_specs`` are how ingested
+    machines travel across the process boundary.
+    """
+    if config.machine_specs:
+        from repro.hw.ingest.spec import ensure_registered
+
+        ensure_registered(config.machine_specs)
+
+
+def grid_machines(
+    config: ExperimentConfig, base: tuple[str, ...]
+) -> tuple[str, ...]:
+    """A grid's machine axis: the built-in base plus config extras."""
+    return base + tuple(
+        name for name in config.machines if name not in base
+    )
 
 
 def default_config(scale: str | None = None, **overrides) -> ExperimentConfig:

@@ -41,7 +41,12 @@ from repro.api.ranks import (
 from repro.api.registry import machine_registry
 from repro.exec.request import StudyRequest
 from repro.exec.scheduler import StudyScheduler
-from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.config import (
+    ExperimentConfig,
+    default_config,
+    grid_machines,
+    register_config_machines,
+)
 from repro.util.tables import render_table
 from repro.workloads.registry import EVALUATED_APPS
 
@@ -84,6 +89,7 @@ def rank_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
     from repro.api.ranks import run_rank_cell
     from repro.exec.stagestore import stage_store_for
 
+    register_config_machines(config)
     cell = run_rank_cell(
         request.app,
         request.param("machine"),
@@ -100,11 +106,16 @@ def _supported(machine_name: str, ranks: int) -> bool:
 
 
 def requests(config: ExperimentConfig) -> list[StudyRequest]:
-    """Every supported cell of the apps × machines × ranks grid."""
+    """Every supported cell of the apps × machines × ranks grid.
+
+    The machine axis is the three built-ins plus any ingested machines
+    the config names (``--machines`` / ``--machine-spec``).
+    """
+    register_config_machines(config)
     return [
         rank_request(app, ranks, machine)
         for app in EVALUATED_APPS
-        for machine in RANK_MACHINES
+        for machine in grid_machines(config, RANK_MACHINES)
         for ranks in RANK_COUNTS
         if _supported(machine, ranks)
     ]
@@ -182,6 +193,8 @@ class RankTable:
 
 def build(results, config: ExperimentConfig) -> RankTable:
     """Assemble the rank tables from executed study cells."""
+    register_config_machines(config)
+    machines = grid_machines(config, RANK_MACHINES)
     cells: dict[str, dict[tuple[str, int], RankCell]] = {}
     for request, payload in results.items():
         if request.kind != "ranks":
@@ -193,14 +206,14 @@ def build(results, config: ExperimentConfig) -> RankTable:
         (machine, ranks): rank_unsupported_reason(
             machine_registry.get(machine), RANK_THREADS
         )
-        for machine in RANK_MACHINES
+        for machine in machines
         for ranks in RANK_COUNTS
         if not _supported(machine, ranks)
     }
     table_results = [
         RankResult(
             app=app,
-            machines=RANK_MACHINES,
+            machines=machines,
             rank_counts=RANK_COUNTS,
             threads=RANK_THREADS,
             cells=cells.get(app, {}),

@@ -41,7 +41,12 @@ from repro.api.scaling import (
 )
 from repro.exec.request import StudyRequest
 from repro.exec.scheduler import StudyScheduler
-from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.config import (
+    ExperimentConfig,
+    default_config,
+    grid_machines,
+    register_config_machines,
+)
 from repro.util.tables import render_table
 from repro.workloads.registry import EVALUATED_APPS
 
@@ -79,6 +84,7 @@ def scaling_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
     from repro.api.scaling import run_scaling_cell
     from repro.exec.stagestore import stage_store_for
 
+    register_config_machines(config)
     cell = run_scaling_cell(
         request.app,
         request.param("machine"),
@@ -90,15 +96,43 @@ def scaling_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
 
 
 def _supported(machine_name: str, threads: int) -> bool:
-    return machine_registry.get(machine_name).supports_threads(threads)
+    # Discovery always runs on the x86_64 discovery machine (the
+    # paper's Section V-A rule) at the cell's width, so a width that
+    # machine cannot host is unschedulable for *any* target — relevant
+    # for ingested machines with more contexts than the i7-3770.
+    from repro.hw.machines import machine_for
+    from repro.isa.descriptors import ISA
+
+    return machine_registry.get(machine_name).supports_threads(
+        threads
+    ) and machine_for(ISA.X86_64).supports_threads(threads)
+
+
+def _unsupported_reason(machine_name: str, threads: int) -> str:
+    machine = machine_registry.get(machine_name)
+    if not machine.supports_threads(threads):
+        return unsupported_reason(machine)
+    from repro.hw.machines import machine_for
+    from repro.isa.descriptors import ISA
+
+    discovery = machine_for(ISA.X86_64)
+    return (
+        f"x86_64 discovery ({discovery.name}) "
+        f"{unsupported_reason(discovery)}"
+    )
 
 
 def requests(config: ExperimentConfig) -> list[StudyRequest]:
-    """Every supported cell of the apps × machines × threads grid."""
+    """Every supported cell of the apps × machines × threads grid.
+
+    The machine axis is the three built-ins plus any ingested machines
+    the config names (``--machines`` / ``--machine-spec``).
+    """
+    register_config_machines(config)
     return [
         scaling_request(app, threads, machine)
         for app in EVALUATED_APPS
-        for machine in SCALING_MACHINES
+        for machine in grid_machines(config, SCALING_MACHINES)
         for threads in SCALING_THREAD_COUNTS
         if _supported(machine, threads)
     ]
@@ -167,6 +201,8 @@ class ScalingTable:
 
 def build(results, config: ExperimentConfig) -> ScalingTable:
     """Assemble the scaling tables from executed study cells."""
+    register_config_machines(config)
+    machines = grid_machines(config, SCALING_MACHINES)
     cells: dict[str, dict[tuple[str, int], ScalingCell]] = {}
     for request, payload in results.items():
         if request.kind != "scaling":
@@ -175,15 +211,15 @@ def build(results, config: ExperimentConfig) -> ScalingTable:
         cells.setdefault(cell.app, {})[(cell.machine, cell.threads)] = cell
 
     unsupported = {
-        (machine, threads): unsupported_reason(machine_registry.get(machine))
-        for machine in SCALING_MACHINES
+        (machine, threads): _unsupported_reason(machine, threads)
+        for machine in machines
         for threads in SCALING_THREAD_COUNTS
         if not _supported(machine, threads)
     }
     table_results = [
         ScalingResult(
             app=app,
-            machines=SCALING_MACHINES,
+            machines=machines,
             thread_counts=SCALING_THREAD_COUNTS,
             cells=cells.get(app, {}),
             unsupported=dict(unsupported),

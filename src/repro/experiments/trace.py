@@ -28,7 +28,11 @@ import numpy as np
 
 from repro.exec.request import StudyRequest
 from repro.exec.scheduler import StudyScheduler
-from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.config import (
+    ExperimentConfig,
+    default_config,
+    register_config_machines,
+)
 from repro.util.tables import render_table
 from repro.workloads.registry import EVALUATED_APPS
 
@@ -62,19 +66,35 @@ _HEADERS = (
 )
 
 
-def trace_request(app: str, accesses: int) -> StudyRequest:
-    """Declare the streamed-trace cell for one application."""
+def trace_request(
+    app: str, accesses: int, machine: str | None = None
+) -> StudyRequest:
+    """Declare the streamed-trace cell for one application.
+
+    ``machine`` switches the streamed cache hierarchy to an ingested
+    machine's L1D/L2 geometry.  The parameter enters the request only
+    when set, so default cells keep their original cache identity.
+    """
+    params: tuple = (("accesses", int(accesses)),)
+    if machine is not None:
+        params += (("machine", machine),)
     return StudyRequest(
-        kind="trace",
-        app=app,
-        threads=TRACE_THREADS,
-        params=(("accesses", int(accesses)),),
+        kind="trace", app=app, threads=TRACE_THREADS, params=params
     )
 
 
 def requests(config: ExperimentConfig) -> list[StudyRequest]:
-    """One streamed-trace cell per evaluated application."""
-    return [trace_request(app, config.trace_accesses) for app in EVALUATED_APPS]
+    """One streamed-trace cell per application — and per extra machine."""
+    register_config_machines(config)
+    default_rows = [
+        trace_request(app, config.trace_accesses) for app in EVALUATED_APPS
+    ]
+    machine_rows = [
+        trace_request(app, config.trace_accesses, machine)
+        for machine in config.machines
+        for app in EVALUATED_APPS
+    ]
+    return default_rows + machine_rows
 
 
 def _trace_blocks(app: str, threads: int):
@@ -99,10 +119,15 @@ def _container_path(config: ExperimentConfig, request: StudyRequest):
     if not config.cache_dir:
         return None
     accesses = request.param("accesses")
+    machine = request.param("machine")
+    suffix = ""
+    if machine is not None:
+        slug = "".join(c if c.isalnum() else "-" for c in str(machine))
+        suffix = f"_m{slug}"
     return (
         Path(config.cache_dir)
         / "traces"
-        / f"{request.app}_t{request.threads}_a{accesses}.rpt"
+        / f"{request.app}_t{request.threads}_a{accesses}{suffix}.rpt"
     )
 
 
@@ -114,6 +139,19 @@ def trace_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
 
     accesses = int(request.param("accesses"))
     tile_size = int(config.trace_tile_size)
+    register_config_machines(config)
+    machine_name = request.param("machine")
+    levels = None
+    if machine_name is not None:
+        # Ingested-machine cells stream through that machine's L1D/L2
+        # geometry instead of the default hierarchy.
+        from repro.api.registry import machine_registry
+
+        m = machine_registry.get(str(machine_name))
+        levels = (
+            ("L1D", m.l1d.size_bytes, m.l1d.associativity),
+            ("L2", m.l2.size_bytes, m.l2.associativity),
+        )
     blocks = _trace_blocks(request.app, request.threads)
     share = accesses // len(blocks)
     budgets = [share] * len(blocks)
@@ -132,10 +170,14 @@ def trace_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
                 "seed": config.seed,
                 "blocks": [uid for uid, _, _ in blocks],
                 "stores_lines": store_lines,
+                "machine": machine_name,
             },
         )
 
-    collector = StreamedSignatureCollector(n_blocks=len(blocks))
+    if levels is not None:
+        collector = StreamedSignatureCollector(n_blocks=len(blocks), levels=levels)
+    else:
+        collector = StreamedSignatureCollector(n_blocks=len(blocks))
     try:
         for index, ((_uid, pattern, ipa), budget) in enumerate(
             zip(blocks, budgets, strict=True)
@@ -169,6 +211,7 @@ def trace_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
     payload = dict(collector.result())
     payload["app"] = request.app
     payload["threads"] = request.threads
+    payload["machine"] = machine_name
     # The whole point of the tiled kernels is a bounded RSS; record the
     # high-water mark under the cell's own stage name so the --profile
     # table carries the evidence (worker deltas max-merge it back).
@@ -177,7 +220,7 @@ def trace_cell(request: StudyRequest, config: ExperimentConfig) -> dict:
     stage_store_for(config).stats.record_rss("trace")
     payload["oracle_checked"] = False
     if store_lines:
-        _assert_matches_oracles(request, config, blocks, budgets, payload)
+        _assert_matches_oracles(request, config, blocks, budgets, payload, levels)
         payload["oracle_checked"] = True
     return payload
 
@@ -190,7 +233,9 @@ def _block_seed(root_seed: int, app: str, block_index: int) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
-def _assert_matches_oracles(request, config, blocks, budgets, payload) -> None:
+def _assert_matches_oracles(
+    request, config, blocks, budgets, payload, levels=None
+) -> None:
     """Replay the whole stream through the monolithic golden kernels."""
     from repro.instrumentation.streamed import StreamedSignatureCollector
     from repro.mem.cache import CacheSimulator
@@ -212,9 +257,12 @@ def _assert_matches_oracles(request, config, blocks, budgets, payload) -> None:
     ldv = reuse_histogram(reuse_distances(stream), N_DISTANCE_BINS)
     if not np.allclose(ldv, payload["ldv"]):
         raise AssertionError(f"streamed LDV diverged from oracle for {request.app}")
-    levels = StreamedSignatureCollector(1)._levels
+    if levels is not None:
+        level_sims = StreamedSignatureCollector(1, levels=levels)._levels
+    else:
+        level_sims = StreamedSignatureCollector(1)._levels
     substream = stream
-    for name, sim in levels:
+    for name, sim in level_sims:
         oracle = CacheSimulator(
             sim.n_sets * sim.associativity * 64, sim.associativity
         ).miss_mask(substream)
@@ -248,9 +296,11 @@ class TraceTable:
             l2 = row["levels"]["L2"]
             bbv = row["bbv"]
             hot_share = 100.0 * max(bbv) / max(sum(bbv), 1)
+            machine = row.get("machine")
+            label = f"{row['app']} @ {machine}" if machine else row["app"]
             out.append(
                 (
-                    row["app"],
+                    label,
                     f"{row['n_accesses']:,}",
                     row["n_tiles"],
                     f"{row['distinct_lines']:,}",
@@ -271,15 +321,21 @@ class TraceTable:
 
 
 def build(results, config: ExperimentConfig) -> TraceTable:
-    """Assemble the trace table from executed study cells."""
+    """Assemble the trace table from executed study cells.
+
+    Default-hierarchy rows first (the original artefact), then one row
+    block per extra machine the config names.
+    """
     rows = []
-    by_app = {}
+    by_key = {}
     for request, payload in results.items():
         if request.kind == "trace":
-            by_app[request.app] = payload
-    for app in EVALUATED_APPS:
-        if app in by_app:
-            rows.append(by_app[app])
+            by_key[(request.app, request.param("machine"))] = payload
+    for machine in (None, *config.machines):
+        for app in EVALUATED_APPS:
+            payload = by_key.get((app, machine))
+            if payload is not None:
+                rows.append(payload)
     return TraceTable(rows=rows, accesses=config.trace_accesses)
 
 

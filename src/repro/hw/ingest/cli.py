@@ -1,0 +1,109 @@
+"""``repro machines ingest`` — capture/replay a host into the registry.
+
+::
+
+    repro machines ingest tests/data/hosts/xeon8170m   # captured tree
+    repro machines ingest -                            # live host (/sys)
+    repro machines ingest HOST --save xeon.json        # emit a spec file
+
+Prints the reviewable lowering summary (topology, caches, NUMA layout,
+every fallback note), registers the machine in this process, and with
+``--save`` writes the JSON spec other commands load via
+``--machine-spec`` — the handoff that makes an ingested machine usable
+in the scaling/ranks/trace grids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.hw.ingest.descriptor import HostDescriptor
+from repro.hw.ingest.lower import lower_descriptor
+from repro.hw.ingest.spec import machine_to_spec, register_ingested, save_machine_spec
+
+__all__ = ["ingest_main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro machines ingest",
+        description="Parse a captured host descriptor tree (or the live "
+        "host's /sys) and lower it into a registered machine.",
+    )
+    parser.add_argument(
+        "source",
+        help="descriptor tree directory (lscpu.txt + cpu.txt + node.txt), "
+        "or '-' to walk the live host's /sys",
+    )
+    parser.add_argument(
+        "--name",
+        default=None,
+        help="machine name override (default: lscpu model name, then the "
+        "directory name)",
+    )
+    parser.add_argument(
+        "--donor",
+        default=None,
+        metavar="MACHINE",
+        help="behavioural-knob donor machine (default: the Table II "
+        "machine of the captured ISA)",
+    )
+    parser.add_argument(
+        "--save",
+        default=None,
+        metavar="PATH",
+        help="write the machine spec JSON here (load it elsewhere with "
+        "--machine-spec)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine spec JSON instead of the summary",
+    )
+    return parser
+
+
+def ingest_main(argv: list[str]) -> int:
+    """Entry point for ``repro machines ingest``; returns an exit code."""
+    args = _build_parser().parse_args(argv)
+
+    donor = None
+    if args.donor is not None:
+        from repro.api.registry import machine_registry
+
+        try:
+            donor = machine_registry.get(args.donor)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    try:
+        if args.source == "-":
+            desc = HostDescriptor.capture_live()
+        else:
+            desc = HostDescriptor.from_tree(args.source)
+        lowered = lower_descriptor(desc, name=args.name, donor=donor)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    register_ingested(lowered.machine)
+    spec = machine_to_spec(
+        lowered.machine,
+        notes=lowered.notes,
+        donor=lowered.donor,
+        source=args.source,
+    )
+    if args.save:
+        save_machine_spec(spec, args.save)
+
+    if args.json:
+        print(json.dumps(spec, indent=2, sort_keys=True))
+    else:
+        print(lowered.summary())
+        print(f"registered: {lowered.machine.name}")
+        if args.save:
+            print(f"spec saved: {args.save}")
+    return 0

@@ -1,0 +1,213 @@
+"""Parser for the captured ``/sys/devices/system/cpu`` subtree.
+
+Three families of leaves, all optional per CPU (VMs and stripped
+kernels omit whole directories):
+
+* ``cpuN/topology/{core_id,physical_package_id,die_id,
+  thread_siblings_list|core_cpus_list}`` — physical placement and SMT
+  sibling sets;
+* ``cpuN/cache/indexM/{level,type,size,ways_of_associativity,
+  coherency_line_size,shared_cpu_list}`` — one entry per (CPU, cache
+  index); instances shared by several CPUs appear once per sharer and
+  are deduplicated by their ``(level, type, shared set)`` identity;
+* ``cpuN/cpufreq/{cpuinfo_min_freq,cpuinfo_max_freq,base_frequency}``
+  (or the policy-dir spelling ``cpufreq/policyN/...``) — kHz.
+
+Pure function over a :class:`~repro.hw.ingest.tree.VirtualTree`:
+:func:`parse_cpu_tree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.ingest.tree import VirtualTree, parse_cpu_list, parse_size
+
+__all__ = ["CpuRecord", "CacheInstance", "FreqInfo", "CpuTopology", "parse_cpu_tree"]
+
+
+@dataclass(frozen=True)
+class CpuRecord:
+    """One logical CPU's physical placement."""
+
+    cpu: int
+    core_id: int
+    package_id: int
+    die_id: int | None
+    siblings: tuple[int, ...]
+
+    @property
+    def core_key(self) -> tuple[int, int]:
+        """Globally unique physical-core identity (package, core)."""
+        return (self.package_id, self.core_id)
+
+
+@dataclass(frozen=True)
+class CacheInstance:
+    """One physical cache instance (deduplicated across its sharers)."""
+
+    level: int
+    type: str
+    size_bytes: int | None
+    ways: int | None
+    line_bytes: int | None
+    cpus: tuple[int, ...]
+
+    @property
+    def is_data(self) -> bool:
+        """Whether the instance caches data (Data or Unified)."""
+        return self.type in ("Data", "Unified")
+
+
+@dataclass(frozen=True)
+class FreqInfo:
+    """cpufreq limits in kHz (None where the capture lacks them)."""
+
+    min_khz: int | None = None
+    max_khz: int | None = None
+    base_khz: int | None = None
+
+
+@dataclass(frozen=True)
+class CpuTopology:
+    """Everything the cpu subtree states about the host.
+
+    Attributes
+    ----------
+    cpus:
+        One :class:`CpuRecord` per captured logical CPU with topology
+        data, ordered by CPU id.
+    caches:
+        Deduplicated :class:`CacheInstance` list, ordered by (level,
+        type, first sharer).  Empty when the capture has no cache
+        directories (the degenerate-VM case).
+    freq:
+        cpufreq limits.
+    """
+
+    cpus: tuple[CpuRecord, ...]
+    caches: tuple[CacheInstance, ...]
+    freq: FreqInfo = field(default_factory=FreqInfo)
+
+    @property
+    def n_cpus(self) -> int:
+        """Captured logical CPUs."""
+        return len(self.cpus)
+
+    @property
+    def n_cores(self) -> int:
+        """Distinct physical cores ((package, core_id) pairs)."""
+        return len({record.core_key for record in self.cpus})
+
+    @property
+    def n_packages(self) -> int:
+        """Distinct physical packages (sockets)."""
+        return len({record.package_id for record in self.cpus})
+
+    @property
+    def smt_per_core(self) -> int:
+        """Hardware threads on the widest core."""
+        if not self.cpus:
+            return 1
+        census: dict[tuple[int, int], int] = {}
+        for record in self.cpus:
+            census[record.core_key] = census.get(record.core_key, 0) + 1
+        return max(census.values())
+
+    def sibling_sets(self) -> tuple[tuple[int, ...], ...]:
+        """Distinct SMT sibling sets, ordered by their first CPU."""
+        return tuple(
+            sorted({record.siblings for record in self.cpus}, key=lambda s: s[0])
+        )
+
+    def instances(self, level: int, data_only: bool = True) -> tuple[CacheInstance, ...]:
+        """The cache instances of one level (data/unified by default)."""
+        return tuple(
+            inst
+            for inst in self.caches
+            if inst.level == level and (inst.is_data or not data_only)
+        )
+
+    def sharing_map(self, level: int) -> tuple[tuple[int, ...], ...]:
+        """The distinct sharer sets of one level's data instances."""
+        return tuple(inst.cpus for inst in self.instances(level))
+
+
+def parse_cpu_tree(tree: VirtualTree) -> CpuTopology:
+    """Parse the cpu subtree of a captured host into a :class:`CpuTopology`."""
+    records = []
+    for cpu in tree.indices("cpu/cpu{}/topology/core_id"):
+        prefix = f"cpu/cpu{cpu}/topology"
+        core_id = tree.get_int(f"{prefix}/core_id")
+        package_id = tree.get_int(f"{prefix}/physical_package_id", 0)
+        siblings_text = tree.get(f"{prefix}/thread_siblings_list")
+        if siblings_text is None:
+            # Newer kernels spell the SMT sibling mask core_cpus_list.
+            siblings_text = tree.get(f"{prefix}/core_cpus_list")
+        siblings = parse_cpu_list(siblings_text) if siblings_text else (cpu,)
+        records.append(
+            CpuRecord(
+                cpu=cpu,
+                core_id=core_id if core_id is not None else cpu,
+                package_id=package_id if package_id is not None else 0,
+                die_id=tree.get_int(f"{prefix}/die_id"),
+                siblings=siblings,
+            )
+        )
+
+    seen: dict[tuple, CacheInstance] = {}
+    for cpu in tree.indices("cpu/cpu{}/cache/index0/level"):
+        for index in tree.indices(f"cpu/cpu{cpu}/cache/index{{}}/level"):
+            prefix = f"cpu/cpu{cpu}/cache/index{index}"
+            level = tree.get_int(f"{prefix}/level")
+            if level is None:
+                continue
+            cache_type = tree.get(f"{prefix}/type", "Unified")
+            shared_text = tree.get(f"{prefix}/shared_cpu_list")
+            cpus = parse_cpu_list(shared_text) if shared_text else (cpu,)
+            key = (level, cache_type, cpus)
+            if key in seen:
+                continue
+            size_text = tree.get(f"{prefix}/size")
+            seen[key] = CacheInstance(
+                level=level,
+                type=cache_type,
+                size_bytes=parse_size(size_text) if size_text else None,
+                ways=tree.get_int(f"{prefix}/ways_of_associativity"),
+                line_bytes=tree.get_int(f"{prefix}/coherency_line_size"),
+                cpus=cpus,
+            )
+    caches = tuple(
+        sorted(
+            seen.values(),
+            key=lambda inst: (inst.level, inst.type, inst.cpus[0] if inst.cpus else -1),
+        )
+    )
+    return CpuTopology(
+        cpus=tuple(sorted(records, key=lambda record: record.cpu)),
+        caches=caches,
+        freq=_parse_freq(tree),
+    )
+
+
+def _parse_freq(tree: VirtualTree) -> FreqInfo:
+    """Frequency limits from per-cpu cpufreq dirs or policy dirs.
+
+    The slowest-capable core's maximum (and the lowest minimum) wins,
+    matching how a pinned-team experiment would be clocked.
+    """
+
+    def collect(leaf: str) -> list[int]:
+        values = []
+        for pattern in (f"cpu/cpu*/cpufreq/{leaf}", f"cpu/cpufreq/policy*/{leaf}"):
+            values.extend(int(value) for _, value in tree.glob(pattern) if value.strip())
+        return values
+
+    min_values = collect("cpuinfo_min_freq")
+    max_values = collect("cpuinfo_max_freq")
+    base_values = collect("base_frequency")
+    return FreqInfo(
+        min_khz=min(min_values) if min_values else None,
+        max_khz=min(max_values) if max_values else None,
+        base_khz=min(base_values) if base_values else None,
+    )

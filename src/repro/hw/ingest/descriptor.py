@@ -1,0 +1,223 @@
+"""The composed host descriptor and its capture/replay entry points.
+
+A *descriptor tree* is a directory of three text files::
+
+    <host>/
+      lscpu.txt   # `lscpu` stdout, verbatim
+      cpu.txt     # `grep -rs . /sys/devices/system/cpu/cpu*/{topology,cache,cpufreq}`
+      node.txt    # `grep -rs . /sys/devices/system/node/node*`
+
+The two ``.txt`` sysfs dumps are flat ``path:value`` lines (exactly
+what ``grep -rs`` prints), normalised by
+:class:`~repro.hw.ingest.tree.VirtualTree`, so a capture commits as
+three reviewable files however many CPUs the host has.
+
+:meth:`HostDescriptor.from_tree` replays a captured directory;
+:meth:`HostDescriptor.capture_live` walks the running host's real
+``/sys`` (and ``lscpu`` when available) into the *same* virtual tree,
+so the live path exercises exactly the parsers the fixture corpus
+locks down.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.hw.ingest.cputopo import CpuTopology, parse_cpu_tree
+from repro.hw.ingest.lscpu import LscpuInfo
+from repro.hw.ingest.numa import NumaInfo, parse_node_tree
+from repro.hw.ingest.tree import VirtualTree
+
+__all__ = ["HostDescriptor", "LSCPU_FILE", "SYSFS_FILES"]
+
+#: File names of a captured descriptor tree.
+LSCPU_FILE = "lscpu.txt"
+SYSFS_FILES = ("cpu.txt", "node.txt")
+
+#: The sysfs leaves the live capture reads (and nothing else — the
+#: parsers define the contract, the walk follows it).
+_CPU_LEAVES = (
+    "topology/core_id",
+    "topology/physical_package_id",
+    "topology/die_id",
+    "topology/thread_siblings_list",
+    "topology/core_cpus_list",
+    "cpufreq/cpuinfo_min_freq",
+    "cpufreq/cpuinfo_max_freq",
+    "cpufreq/base_frequency",
+)
+_CACHE_LEAVES = (
+    "level",
+    "type",
+    "size",
+    "ways_of_associativity",
+    "coherency_line_size",
+    "shared_cpu_list",
+)
+_NODE_LEAVES = ("cpulist", "distance")
+
+
+@dataclass(frozen=True)
+class HostDescriptor:
+    """One host's parsed identity, topology and NUMA facts.
+
+    Attributes
+    ----------
+    name:
+        Host label (directory name of a captured tree, or the model
+        name slug for live captures).
+    lscpu / topology / numa:
+        The three parsed sources.
+    """
+
+    name: str
+    lscpu: LscpuInfo = field(default_factory=LscpuInfo)
+    topology: CpuTopology = field(default_factory=lambda: CpuTopology((), ()))
+    numa: NumaInfo = field(default_factory=NumaInfo)
+
+    # ------------------------------------------------------------ build
+    @classmethod
+    def from_text(
+        cls, name: str, lscpu_text: str = "", sysfs_texts: tuple[str, ...] = ()
+    ) -> HostDescriptor:
+        """Compose a descriptor from raw captured text (pure)."""
+        tree = VirtualTree.from_dump(*sysfs_texts)
+        return cls(
+            name=name,
+            lscpu=LscpuInfo.parse(lscpu_text),
+            topology=parse_cpu_tree(tree),
+            numa=parse_node_tree(tree),
+        )
+
+    @classmethod
+    def from_tree(cls, path: str | os.PathLike) -> HostDescriptor:
+        """Replay a captured descriptor tree directory."""
+        root = Path(path)
+        if not root.is_dir():
+            raise FileNotFoundError(
+                f"descriptor tree {root} is not a directory — expected "
+                f"{LSCPU_FILE} plus {'/'.join(SYSFS_FILES)} captures inside it"
+            )
+        lscpu_path = root / LSCPU_FILE
+        lscpu_text = lscpu_path.read_text() if lscpu_path.is_file() else ""
+        sysfs_texts = tuple(
+            (root / name).read_text()
+            for name in SYSFS_FILES
+            if (root / name).is_file()
+        )
+        if not lscpu_text and not sysfs_texts:
+            raise FileNotFoundError(
+                f"descriptor tree {root} holds none of {LSCPU_FILE}, "
+                f"{', '.join(SYSFS_FILES)} — nothing to ingest"
+            )
+        return cls.from_text(root.name, lscpu_text, sysfs_texts)
+
+    @classmethod
+    def capture_live(cls, sys_root: str | os.PathLike = "/sys") -> HostDescriptor:
+        """Walk the running host's ``/sys`` through the same parsers.
+
+        ``lscpu`` itself may be absent in a container; the capture then
+        synthesises the two identity lines the lowering needs
+        (architecture from ``os.uname``, CPU count from the walked
+        topology) so live ingestion never hard-depends on util-linux.
+        """
+        base = Path(sys_root) / "devices" / "system"
+        entries: dict[str, str] = {}
+
+        def read_leaf(path: Path, key: str) -> None:
+            try:
+                entries[key] = path.read_text().strip()
+            except OSError:
+                pass
+
+        cpu_dir = base / "cpu"
+        if cpu_dir.is_dir():
+            for child in sorted(cpu_dir.iterdir()):
+                cpu_name = child.name
+                if not (cpu_name.startswith("cpu") and cpu_name[3:].isdigit()):
+                    continue
+                for leaf in _CPU_LEAVES:
+                    read_leaf(child / leaf, f"cpu/{cpu_name}/{leaf}")
+                cache_dir = child / "cache"
+                if cache_dir.is_dir():
+                    for index_dir in sorted(cache_dir.glob("index*")):
+                        for leaf in _CACHE_LEAVES:
+                            read_leaf(
+                                index_dir / leaf,
+                                f"cpu/{cpu_name}/cache/{index_dir.name}/{leaf}",
+                            )
+        node_dir = base / "node"
+        if node_dir.is_dir():
+            for child in sorted(node_dir.glob("node[0-9]*")):
+                for leaf in _NODE_LEAVES:
+                    read_leaf(child / leaf, f"node/{child.name}/{leaf}")
+
+        tree = VirtualTree.from_entries(entries)
+        topology = parse_cpu_tree(tree)
+        uname = os.uname()
+        lscpu_text = (
+            f"Architecture: {uname.machine}\n"
+            f"CPU(s): {topology.n_cpus}\n"
+        )
+        return cls(
+            name=uname.nodename or "live-host",
+            lscpu=LscpuInfo.parse(lscpu_text),
+            topology=topology,
+            numa=parse_node_tree(tree),
+        )
+
+    # ------------------------------------------------------- validation
+    def notes(self) -> list[str]:
+        """Cross-source consistency notes, for the reviewable spec.
+
+        Notes are advisory (sysfs wins where the sources disagree);
+        they exist so an ingestion review sees the disagreement instead
+        of silently trusting one side.
+        """
+        found: list[str] = []
+        lscpu, topo, numa = self.lscpu, self.topology, self.numa
+        if lscpu.cpus is not None and topo.n_cpus and lscpu.cpus != topo.n_cpus:
+            found.append(
+                f"lscpu advertises {lscpu.cpus} CPUs but the cpu subtree "
+                f"captured {topo.n_cpus} — trusting sysfs"
+            )
+        product = lscpu.topology_product()
+        if product is not None and topo.n_cpus and product != topo.n_cpus:
+            found.append(
+                f"lscpu topology product {product} != captured CPUs "
+                f"{topo.n_cpus}"
+            )
+        if lscpu.numa_nodes is not None and numa.n_nodes and (
+            lscpu.numa_nodes != numa.n_nodes
+        ):
+            found.append(
+                f"lscpu advertises {lscpu.numa_nodes} NUMA nodes but the "
+                f"node subtree captured {numa.n_nodes} — trusting sysfs"
+            )
+        if not topo.cpus:
+            found.append("no cpu topology captured — falling back to lscpu counts")
+        if not topo.caches:
+            found.append(
+                "no cache instances captured — cache geometry falls back to "
+                "the donor machine"
+            )
+        memory_only = [
+            node for node, cpus in sorted(numa.node_cpus.items()) if not cpus
+        ]
+        if memory_only:
+            found.append(
+                f"memory-only NUMA node(s) {memory_only} dropped from the "
+                "placement model (no hardware contexts to pin on)"
+            )
+        if numa.node_cpus and topo.cpus:
+            covered = {cpu for cpus in numa.node_cpus.values() for cpu in cpus}
+            missing = sorted(
+                record.cpu for record in topo.cpus if record.cpu not in covered
+            )
+            if missing:
+                found.append(
+                    f"CPUs {missing} appear in no NUMA node cpulist"
+                )
+        return found

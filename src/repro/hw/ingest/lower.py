@@ -1,0 +1,249 @@
+"""Lowering: :class:`HostDescriptor` → registered :class:`Machine`.
+
+Geometry comes from the host — cores, SMT width, L2 sharing domains
+(clusters), NUMA nodes, cache sizes/ways, frequency.  Behavioural knobs
+the host cannot state about itself — CPI per instruction class, miss
+penalties, prefetch effectiveness tables, stall overlap, PMU noise —
+come from a **donor** machine template selected by ISA (the paper's
+Table II machine of the same architecture family).  The split keeps
+lowering a pure function: same descriptor + same donor → identical
+``Machine``, which is what the render→parse→lower round-trip property
+and the render-from-machine golden tests pin down.
+
+The per-node L3 slice rule: the host's *total* L3 capacity divides
+evenly over its CPU-bearing NUMA nodes, so ``Machine.l3`` describes one
+node's slice and the placement's node census prices it.  Sub-NUMA
+clustering (two L3 instances per socket on the Xeon 8170M capture)
+falls out of the same rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hw.ingest.descriptor import HostDescriptor
+from repro.hw.machines import APM_XGENE, INTEL_I7_3770, Machine
+
+__all__ = ["LoweredMachine", "donor_for", "lower_descriptor"]
+
+_KHZ_PER_GHZ = 1_000_000.0
+
+
+def donor_for(architecture: str | None) -> Machine:
+    """The Table II behavioural-knob donor for one architecture string.
+
+    ``lscpu`` architecture spellings map to ISA families: anything
+    x86-flavoured donates from the i7-3770, anything ARM-flavoured from
+    the X-Gene.  Unknown architectures fall back to the i7-3770 (the
+    paper's reference platform) — the lowering notes record the guess.
+    """
+    text = (architecture or "").strip().lower()
+    if text.startswith(("aarch64", "arm")):
+        return APM_XGENE
+    return INTEL_I7_3770
+
+
+@dataclass(frozen=True)
+class LoweredMachine:
+    """The result of lowering one descriptor: machine + provenance.
+
+    Attributes
+    ----------
+    machine:
+        The lowered :class:`Machine`, ready to register.
+    donor:
+        Name of the behavioural-knob donor.
+    notes:
+        Descriptor consistency notes plus every lowering fallback that
+        fired — the reviewable record of what the capture could not
+        state.
+    """
+
+    machine: Machine
+    donor: str
+    notes: tuple[str, ...] = ()
+
+    def summary(self) -> str:
+        """Human-readable review text for ``repro machines ingest``."""
+        m = self.machine
+        numa = (
+            f"{m.nodes} NUMA nodes ({m.clusters // m.nodes} clusters each"
+            + (", ragged" if m.clusters % m.nodes else "")
+            + ")"
+            if m.nodes > 1
+            else "1 NUMA node"
+        )
+        lines = [
+            f"machine: {m.name}",
+            f"  isa: {m.isa.value}  donor: {self.donor}",
+            f"  topology: {m.cores} cores x {m.smt_per_core} SMT "
+            f"({m.max_threads} hardware contexts) in {m.clusters} clusters, "
+            f"{numa}",
+            f"  caches: {m.l1d.describe()} per core, {m.l2.describe()}"
+            + (" per cluster" if m.l2_shared_by_cluster else " per core")
+            + f", {m.l3.describe()} per node",
+            f"  freq: {m.freq_ghz:.2f} GHz",
+        ]
+        if m.numa_distance is not None:
+            rows = "; ".join(
+                " ".join(f"{value:g}" for value in row) for row in m.numa_distance
+            )
+            lines.append(f"  numa distance: {rows}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _core_span(cpus: tuple[int, ...], core_of: dict[int, tuple[int, int]]) -> int:
+    """How many distinct physical cores a sharer cpu-set covers."""
+    return len({core_of.get(cpu, (0, cpu)) for cpu in cpus})
+
+
+def lower_descriptor(
+    desc: HostDescriptor,
+    *,
+    name: str | None = None,
+    donor: Machine | None = None,
+) -> LoweredMachine:
+    """Lower one descriptor into a :class:`Machine` (pure).
+
+    Parameters
+    ----------
+    desc:
+        The parsed host.
+    name:
+        Machine name override; defaults to the lscpu model name, then
+        the descriptor (directory) name.
+    donor:
+        Behavioural-knob donor override; defaults to
+        :func:`donor_for` on the captured architecture.
+    """
+    notes = list(desc.notes())
+    lscpu, topo, numa = desc.lscpu, desc.topology, desc.numa
+    if donor is None:
+        donor = donor_for(lscpu.architecture)
+        if lscpu.architecture is None:
+            notes.append(
+                f"no architecture captured — guessing donor {donor.name}"
+            )
+
+    # ------------------------------------------------------------ cores/smt
+    if topo.cpus:
+        cores = topo.n_cores
+        smt = topo.smt_per_core
+    else:
+        cpus = lscpu.cpus or 1
+        smt = lscpu.threads_per_core or 1
+        if lscpu.sockets and lscpu.cores_per_socket:
+            cores = lscpu.sockets * lscpu.cores_per_socket
+        else:
+            cores = max(1, cpus // smt)
+        notes.append(
+            f"topology from lscpu counts alone: {cores} cores x {smt} SMT"
+        )
+    core_of = {
+        record.cpu: record.core_key for record in topo.cpus
+    }
+
+    # ------------------------------------------------------------- clusters
+    l2_instances = topo.instances(2)
+    l2_shared = any(_core_span(inst.cpus, core_of) > 1 for inst in l2_instances)
+    if l2_shared:
+        clusters = len(l2_instances)
+    else:
+        clusters = cores
+        if not l2_instances and topo.cpus:
+            notes.append("no L2 instances captured — treating L2 as per-core")
+
+    # ---------------------------------------------------------------- nodes
+    cpu_nodes = numa.cpu_nodes()
+    nodes = max(1, len(cpu_nodes))
+    if not cpu_nodes and (lscpu.numa_nodes or 0) > 1:
+        # lscpu saw nodes the sysfs capture lacks; trust the count but
+        # note that cpumaps are unavailable.
+        nodes = lscpu.numa_nodes  # type: ignore[assignment]
+        notes.append(
+            f"NUMA node count {nodes} from lscpu (no node subtree captured)"
+        )
+    if nodes > clusters:
+        notes.append(
+            f"{nodes} NUMA nodes exceed {clusters} L2 clusters — clamping "
+            f"to {clusters} (placement needs one cluster per node)"
+        )
+        nodes = clusters
+
+    numa_distance = None
+    if nodes > 1 and numa.distance is not None and len(cpu_nodes) == nodes:
+        order = sorted(numa.node_cpus)
+        keep = [order.index(node) for node in cpu_nodes]
+        numa_distance = tuple(
+            tuple(numa.distance[i][j] for j in keep) for i in keep
+        )
+
+    # --------------------------------------------------------------- caches
+    def level_spec(level: int, donor_spec, lscpu_key: str, label: str):
+        instances = topo.instances(level)
+        size = ways = line = None
+        if instances:
+            sizes = [inst.size_bytes for inst in instances if inst.size_bytes]
+            if sizes:
+                size = sum(sizes) if level == 3 else max(sizes)
+            for inst in instances:
+                ways = ways or inst.ways
+                line = line or inst.line_bytes
+        elif lscpu_key in lscpu.caches:
+            total, count = lscpu.caches[lscpu_key]
+            if level == 3:
+                size = total
+            else:
+                size = total // count if count else total
+        if size is None:
+            notes.append(
+                f"no {label} size captured — using donor "
+                f"{donor_spec.size_bytes} bytes"
+            )
+            size = donor_spec.size_bytes
+        elif level == 3:
+            # Total chip L3 divides over the CPU-bearing nodes: Machine.l3
+            # describes one node's slice (sub-NUMA clustering included).
+            size = max(1, size // nodes)
+        return replace(
+            donor_spec,
+            size_bytes=size,
+            associativity=ways or donor_spec.associativity,
+            line_bytes=line or donor_spec.line_bytes,
+        )
+
+    l1d = level_spec(1, donor.l1d, "L1d", "L1D")
+    l2 = level_spec(2, donor.l2, "L2", "L2")
+    l3 = level_spec(3, donor.l3, "L3", "L3")
+
+    # ------------------------------------------------------------ frequency
+    freq = topo.freq
+    if freq.base_khz:
+        freq_ghz = freq.base_khz / _KHZ_PER_GHZ
+    elif freq.max_khz:
+        freq_ghz = freq.max_khz / _KHZ_PER_GHZ
+    elif lscpu.max_mhz:
+        freq_ghz = lscpu.max_mhz / 1000.0
+    else:
+        freq_ghz = donor.freq_ghz
+        notes.append(
+            f"no frequency captured — using donor {freq_ghz} GHz"
+        )
+
+    machine = replace(
+        donor,
+        name=name or lscpu.model_name or desc.name,
+        freq_ghz=freq_ghz,
+        cores=cores,
+        smt_per_core=smt,
+        clusters=clusters,
+        l1d=l1d,
+        l2=l2,
+        l3=l3,
+        l2_shared_by_cluster=l2_shared,
+        nodes=nodes,
+        numa_distance=numa_distance,
+    )
+    return LoweredMachine(machine=machine, donor=donor.name, notes=tuple(notes))

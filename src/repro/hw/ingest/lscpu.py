@@ -1,0 +1,142 @@
+"""Parser for ``lscpu`` key-value stdout.
+
+``lscpu`` is the human summary of the same facts sysfs states
+mechanically, so the descriptor keeps both: sysfs is the authoritative
+topology source, lscpu supplies identity (model name, architecture),
+the advertised frequency range, and a cross-check for the counts —
+disagreements surface as descriptor notes rather than silent trust in
+either side.
+
+Pure function over text: ``LscpuInfo.parse(captured_stdout)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.hw.ingest.tree import parse_cpu_list, parse_size
+
+__all__ = ["LscpuInfo"]
+
+_MHZ_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*$")
+_NODE_CPUS_RE = re.compile(r"^NUMA node(\d+) CPU\(s\)$")
+# Old lscpu prints "L1d cache:", the sectioned format just "L1d:".
+_CACHE_RE = re.compile(r"^(L1d|L1i|L2|L3)(?: cache)?$")
+_INSTANCES_RE = re.compile(
+    r"^\s*(?P<size>[0-9.]+\s*[A-Za-z]+)\s*(?:\((?P<count>\d+)\s+instances?\))?\s*$"
+)
+
+
+def _to_int(text: str | None) -> int | None:
+    if text is None:
+        return None
+    text = text.strip()
+    return int(text) if text.isdigit() else None
+
+
+def _to_mhz(text: str | None) -> float | None:
+    if text is None:
+        return None
+    match = _MHZ_RE.match(text)
+    return float(match.group(1)) if match else None
+
+
+@dataclass(frozen=True)
+class LscpuInfo:
+    """The machine facts ``lscpu`` advertises, parsed field by field.
+
+    Attributes
+    ----------
+    architecture / model_name / vendor:
+        Identity lines (``Architecture``, ``Model name``, ``Vendor ID``).
+    cpus / online:
+        ``CPU(s)`` count and the parsed ``On-line CPU(s) list``.
+    threads_per_core / cores_per_socket / sockets:
+        The advertised topology product.
+    numa_nodes / node_cpus:
+        ``NUMA node(s)`` count and each ``NUMA nodeN CPU(s)`` cpulist,
+        indexed by node id.
+    min_mhz / max_mhz:
+        ``CPU min MHz`` / ``CPU max MHz``.
+    caches:
+        ``level name → (total_bytes, instances)`` from the summary
+        lines (``L2 cache: 52 MiB (52 instances)``); instances is None
+        when lscpu printed no instance count (older versions).
+    extras:
+        Every other key, verbatim — nothing captured is dropped.
+    """
+
+    architecture: str | None = None
+    model_name: str | None = None
+    vendor: str | None = None
+    cpus: int | None = None
+    online: tuple[int, ...] | None = None
+    threads_per_core: int | None = None
+    cores_per_socket: int | None = None
+    sockets: int | None = None
+    numa_nodes: int | None = None
+    node_cpus: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    min_mhz: float | None = None
+    max_mhz: float | None = None
+    caches: dict[str, tuple[int, int | None]] = field(default_factory=dict)
+    extras: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, text: str) -> LscpuInfo:
+        """Parse captured ``lscpu`` stdout into an :class:`LscpuInfo`."""
+        fields: dict[str, object] = {}
+        node_cpus: dict[int, tuple[int, ...]] = {}
+        caches: dict[str, tuple[int, int | None]] = {}
+        extras: dict[str, str] = {}
+        for raw_line in text.splitlines():
+            line = raw_line.rstrip()
+            if not line.strip() or ":" not in line:
+                continue
+            key, _, value = line.partition(":")
+            key, value = key.strip(), value.strip()
+            node_match = _NODE_CPUS_RE.match(key)
+            cache_match = _CACHE_RE.match(key)
+            if key == "Architecture":
+                fields["architecture"] = value
+            elif key in ("Model name", "BIOS Model name") and "model_name" not in fields:
+                fields["model_name"] = value
+            elif key == "Vendor ID":
+                fields["vendor"] = value
+            elif key == "CPU(s)":
+                fields["cpus"] = _to_int(value)
+            elif key == "On-line CPU(s) list":
+                fields["online"] = parse_cpu_list(value)
+            elif key == "Thread(s) per core":
+                fields["threads_per_core"] = _to_int(value)
+            elif key == "Core(s) per socket":
+                fields["cores_per_socket"] = _to_int(value)
+            elif key == "Socket(s)":
+                fields["sockets"] = _to_int(value)
+            elif key == "NUMA node(s)":
+                fields["numa_nodes"] = _to_int(value)
+            elif key == "CPU min MHz":
+                fields["min_mhz"] = _to_mhz(value)
+            elif key == "CPU max MHz":
+                fields["max_mhz"] = _to_mhz(value)
+            elif node_match is not None:
+                node_cpus[int(node_match.group(1))] = parse_cpu_list(value)
+            elif cache_match is not None:
+                size_match = _INSTANCES_RE.match(value)
+                if size_match is not None:
+                    count = size_match.group("count")
+                    caches[cache_match.group(1)] = (
+                        parse_size(size_match.group("size")),
+                        int(count) if count is not None else None,
+                    )
+            else:
+                extras[key] = value
+        return cls(
+            node_cpus=node_cpus, caches=caches, extras=extras, **fields  # type: ignore[arg-type]
+        )
+
+    def topology_product(self) -> int | None:
+        """``sockets × cores/socket × threads/core`` when all advertised."""
+        if None in (self.sockets, self.cores_per_socket, self.threads_per_core):
+            return None
+        return self.sockets * self.cores_per_socket * self.threads_per_core  # type: ignore[operator]

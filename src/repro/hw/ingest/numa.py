@@ -1,0 +1,73 @@
+"""Parser for the captured ``/sys/devices/system/node`` subtree.
+
+Each ``nodeN`` directory contributes its ``cpulist`` (possibly empty —
+memory-only nodes exist on CXL and HBM systems) and one row of the
+ACPI SLIT distance matrix (``distance``: whitespace-separated relative
+latencies, local distance conventionally 10).
+
+Pure function over a :class:`~repro.hw.ingest.tree.VirtualTree`:
+:func:`parse_node_tree`.  A capture with no node directories parses to
+the empty :class:`NumaInfo` — single-node hosts and VMs often hide the
+subtree entirely, and lowering treats that as one node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.ingest.tree import VirtualTree, parse_cpu_list
+
+__all__ = ["NumaInfo", "parse_node_tree"]
+
+
+@dataclass(frozen=True)
+class NumaInfo:
+    """NUMA facts of one captured host.
+
+    Attributes
+    ----------
+    node_cpus:
+        ``node id → cpulist`` for every captured node (memory-only
+        nodes carry an empty tuple).
+    distance:
+        The full node × node distance matrix when every captured node
+        supplied a complete row, else None.
+    """
+
+    node_cpus: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    distance: tuple[tuple[float, ...], ...] | None = None
+
+    @property
+    def n_nodes(self) -> int:
+        """Captured nodes, memory-only included."""
+        return len(self.node_cpus)
+
+    def cpu_nodes(self) -> tuple[int, ...]:
+        """Node ids that own at least one CPU, ascending."""
+        return tuple(sorted(n for n, cpus in self.node_cpus.items() if cpus))
+
+    def node_of(self) -> dict[int, int]:
+        """``cpu → node id`` over every captured node."""
+        mapping: dict[int, int] = {}
+        for node in sorted(self.node_cpus):
+            for cpu in self.node_cpus[node]:
+                mapping[cpu] = node
+        return mapping
+
+
+def parse_node_tree(tree: VirtualTree) -> NumaInfo:
+    """Parse the node subtree of a captured host into a :class:`NumaInfo`."""
+    node_cpus: dict[int, tuple[int, ...]] = {}
+    rows: dict[int, tuple[float, ...]] = {}
+    for node in tree.indices("node/node{}/cpulist"):
+        node_cpus[node] = parse_cpu_list(tree.get(f"node/node{node}/cpulist") or "")
+        distance_text = tree.get(f"node/node{node}/distance")
+        if distance_text:
+            rows[node] = tuple(float(part) for part in distance_text.split())
+    distance = None
+    if node_cpus and sorted(rows) == sorted(node_cpus):
+        n = len(node_cpus)
+        ordered = [rows[node] for node in sorted(rows)]
+        if all(len(row) == n for row in ordered):
+            distance = tuple(ordered)
+    return NumaInfo(node_cpus=node_cpus, distance=distance)

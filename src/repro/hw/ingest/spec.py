@@ -1,0 +1,226 @@
+"""Machine spec files: the reviewable JSON form of a lowered machine.
+
+``repro machines ingest --save out.json`` emits one of these;
+``--machine-spec out.json`` on any experiment command (or
+:func:`ensure_registered` from library code) loads and registers it.
+The codec is total over :class:`~repro.hw.machines.Machine` — every
+field round-trips, behavioural tables included — so a spec file is the
+machine, not a pointer to one, and worker processes can reconstruct
+ingested machines from config without re-parsing the capture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.hw.caches import CacheLevelSpec
+from repro.hw.machines import Machine
+from repro.hw.network import NetworkSpec
+from repro.hw.pmu import PmuNoiseSpec
+from repro.ir.memory import PatternKind
+from repro.isa.descriptors import ISA
+
+__all__ = [
+    "SPEC_VERSION",
+    "machine_to_spec",
+    "machine_from_spec",
+    "save_machine_spec",
+    "load_machine_spec",
+    "register_ingested",
+    "ensure_registered",
+]
+
+#: Bumped when the spec schema changes incompatibly.
+SPEC_VERSION = 1
+
+
+def _kinds_to_spec(table: dict[PatternKind, float] | None) -> dict[str, float] | None:
+    if table is None:
+        return None
+    return {kind.name: float(table[kind]) for kind in PatternKind if kind in table}
+
+
+def _kinds_from_spec(data: dict[str, float] | None) -> dict[PatternKind, float] | None:
+    if data is None:
+        return None
+    return {PatternKind[name]: float(value) for name, value in data.items()}
+
+
+def _cache_to_spec(level: CacheLevelSpec) -> dict:
+    return {
+        "name": level.name,
+        "size_bytes": level.size_bytes,
+        "associativity": level.associativity,
+        "line_bytes": level.line_bytes,
+        "prefetch_effectiveness": _kinds_to_spec(level.prefetch_effectiveness),
+        "pollution_rate": _kinds_to_spec(level.pollution_rate),
+        "pmu_capture": _kinds_to_spec(level.pmu_capture),
+    }
+
+
+def _cache_from_spec(data: dict) -> CacheLevelSpec:
+    return CacheLevelSpec(
+        name=data["name"],
+        size_bytes=int(data["size_bytes"]),
+        associativity=int(data["associativity"]),
+        line_bytes=int(data["line_bytes"]),
+        prefetch_effectiveness=_kinds_from_spec(data["prefetch_effectiveness"]) or {},
+        pollution_rate=_kinds_from_spec(data["pollution_rate"]) or {},
+        pmu_capture=_kinds_from_spec(data.get("pmu_capture")),
+    )
+
+
+def machine_to_spec(
+    machine: Machine,
+    *,
+    notes: tuple[str, ...] = (),
+    donor: str | None = None,
+    source: str | None = None,
+) -> dict:
+    """Serialise one machine (plus ingestion provenance) to a spec dict."""
+    return {
+        "version": SPEC_VERSION,
+        "donor": donor,
+        "source": source,
+        "notes": list(notes),
+        "machine": {
+            "name": machine.name,
+            "isa": machine.isa.value,
+            "freq_ghz": machine.freq_ghz,
+            "cores": machine.cores,
+            "smt_per_core": machine.smt_per_core,
+            "clusters": machine.clusters,
+            "l1d": _cache_to_spec(machine.l1d),
+            "l2": _cache_to_spec(machine.l2),
+            "l3": _cache_to_spec(machine.l3),
+            "cpi": dict(machine.cpi),
+            "penalty_l2": machine.penalty_l2,
+            "penalty_l3": machine.penalty_l3,
+            "penalty_mem": machine.penalty_mem,
+            "stall_overlap": _kinds_to_spec(machine.stall_overlap),
+            "smt_cpi_penalty": machine.smt_cpi_penalty,
+            "bandwidth_slope": machine.bandwidth_slope,
+            "uarch_sigma_cycles": machine.uarch_sigma_cycles,
+            "uarch_sigma_misses": machine.uarch_sigma_misses,
+            "cliff_boost": machine.cliff_boost,
+            "pmu": {
+                "sigma_rel": list(machine.pmu.sigma_rel),
+                "sigma_abs": list(machine.pmu.sigma_abs),
+                "interference_slope": machine.pmu.interference_slope,
+                "unpinned_factor": machine.pmu.unpinned_factor,
+            },
+            "l2_shared_by_cluster": machine.l2_shared_by_cluster,
+            "network": {
+                "latency_cycles": machine.network.latency_cycles,
+                "bytes_per_cycle": machine.network.bytes_per_cycle,
+            },
+            "nodes": machine.nodes,
+            "numa_distance": (
+                [list(row) for row in machine.numa_distance]
+                if machine.numa_distance is not None
+                else None
+            ),
+        },
+    }
+
+
+def machine_from_spec(spec: dict) -> Machine:
+    """Reconstruct a machine from a spec dict (inverse of ``machine_to_spec``)."""
+    version = spec.get("version")
+    if version != SPEC_VERSION:
+        raise ValueError(
+            f"machine spec version {version!r} is not the supported "
+            f"{SPEC_VERSION} — re-ingest the host with this repro build"
+        )
+    data = spec["machine"]
+    pmu = data["pmu"]
+    numa_distance = data.get("numa_distance")
+    return Machine(
+        name=data["name"],
+        isa=ISA(data["isa"]),
+        freq_ghz=float(data["freq_ghz"]),
+        cores=int(data["cores"]),
+        smt_per_core=int(data["smt_per_core"]),
+        clusters=int(data["clusters"]),
+        l1d=_cache_from_spec(data["l1d"]),
+        l2=_cache_from_spec(data["l2"]),
+        l3=_cache_from_spec(data["l3"]),
+        cpi={key: float(value) for key, value in data["cpi"].items()},
+        penalty_l2=float(data["penalty_l2"]),
+        penalty_l3=float(data["penalty_l3"]),
+        penalty_mem=float(data["penalty_mem"]),
+        stall_overlap=_kinds_from_spec(data["stall_overlap"]) or {},
+        smt_cpi_penalty=float(data["smt_cpi_penalty"]),
+        bandwidth_slope=float(data["bandwidth_slope"]),
+        uarch_sigma_cycles=float(data["uarch_sigma_cycles"]),
+        uarch_sigma_misses=float(data["uarch_sigma_misses"]),
+        cliff_boost=float(data["cliff_boost"]),
+        pmu=PmuNoiseSpec(
+            sigma_rel=tuple(float(v) for v in pmu["sigma_rel"]),
+            sigma_abs=tuple(float(v) for v in pmu["sigma_abs"]),
+            interference_slope=float(pmu["interference_slope"]),
+            unpinned_factor=float(pmu["unpinned_factor"]),
+        ),
+        l2_shared_by_cluster=bool(data["l2_shared_by_cluster"]),
+        network=NetworkSpec(
+            latency_cycles=float(data["network"]["latency_cycles"]),
+            bytes_per_cycle=float(data["network"]["bytes_per_cycle"]),
+        ),
+        nodes=int(data.get("nodes", 1)),
+        numa_distance=(
+            tuple(tuple(float(v) for v in row) for row in numa_distance)
+            if numa_distance is not None
+            else None
+        ),
+    )
+
+
+def save_machine_spec(spec: dict, path: str | os.PathLike) -> None:
+    """Write one spec dict as stable, reviewable JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(spec, indent=2, sort_keys=True) + "\n")
+
+
+def load_machine_spec(path: str | os.PathLike) -> Machine:
+    """Load and decode one spec file."""
+    return machine_from_spec(json.loads(Path(path).read_text()))
+
+
+def register_ingested(machine: Machine, *, description: str | None = None) -> None:
+    """Register (or re-register) one ingested machine.
+
+    Re-registration with identical content is the normal worker-process
+    path, so ``replace=True`` — last spec wins, exactly like the
+    built-in registry's latest-registration semantics.
+    """
+    from repro.api.registry import register_machine
+
+    # Not an import-time decorator registration: ingestion registers on
+    # demand (CLI / per-cell ensure_registered), so the autoload-module
+    # requirement does not apply here.
+    register_machine(  # repro-lint: disable=RPR106
+        machine,
+        description=description
+        or f"ingested host: {machine.cores} cores x {machine.smt_per_core} SMT, "
+        f"{machine.nodes} NUMA node(s)",
+        replace=True,
+    )
+
+
+def ensure_registered(paths: tuple[str, ...] | list[str]) -> tuple[str, ...]:
+    """Load + register every spec file; returns the machine names.
+
+    Idempotent by construction, so executors call it unconditionally at
+    the top of every grid cell — worker processes start with only the
+    built-in machines, and this is how a config's ingested machines
+    reach them.
+    """
+    names = []
+    for path in paths:
+        machine = load_machine_spec(path)
+        register_ingested(machine, description=f"ingested from spec {path}")
+        names.append(machine.name)
+    return tuple(names)

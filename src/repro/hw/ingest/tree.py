@@ -1,0 +1,208 @@
+"""The captured-tree model every ingestion parser consumes.
+
+A host descriptor is not a thousand tiny pseudo-files but a flat
+``path:value`` dump of the interesting sysfs leaves — the output shape
+of ``grep -rs . /sys/devices/system/cpu`` — so a captured host commits
+as three reviewable text files.  :class:`VirtualTree` is the uniform
+view over that dump: parsers never touch the filesystem, they query the
+tree, which makes each of them a pure function over captured text (and
+makes the live host just another way of building the same tree).
+
+Paths are normalised to be relative to ``/sys/devices/system/`` — a
+capture made with absolute paths, with a leading ``./``, or from inside
+the directory all collapse to the same keys (``cpu/cpu0/topology/...``,
+``node/node1/cpulist``).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "VirtualTree",
+    "parse_cpu_list",
+    "format_cpu_list",
+    "parse_size",
+    "SYS_MARKER",
+]
+
+#: Everything up to and including this marker is stripped from captured
+#: paths, so absolute and relative captures normalise identically.
+SYS_MARKER = "devices/system/"
+
+_NUM_RE = re.compile(r"(\d+)")
+
+
+def _natural_key(path: str) -> tuple:
+    """Sort key ordering ``cpu2`` before ``cpu10`` (stable renders)."""
+    return tuple(
+        int(part) if part.isdigit() else part for part in _NUM_RE.split(path)
+    )
+
+
+def normalise_path(path: str) -> str:
+    """Canonical tree key for one captured path."""
+    path = path.strip().lstrip("./").lstrip("/")
+    marker = path.find(SYS_MARKER)
+    if marker >= 0:
+        path = path[marker + len(SYS_MARKER):]
+    return path
+
+
+def parse_cpu_list(text: str) -> tuple[int, ...]:
+    """Parse a kernel cpulist (``0-3,8,10-11``) into sorted CPU ids.
+
+    The empty string is a valid (empty) list — memory-only NUMA nodes
+    report exactly that.
+    """
+    text = text.strip()
+    if not text:
+        return ()
+    cpus: set[int] = set()
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "-" in chunk:
+            lo_text, _, hi_text = chunk.partition("-")
+            lo, hi = int(lo_text), int(hi_text)
+            if hi < lo:
+                raise ValueError(f"descending cpu range {chunk!r} in {text!r}")
+            cpus.update(range(lo, hi + 1))
+        else:
+            cpus.add(int(chunk))
+    return tuple(sorted(cpus))
+
+
+def format_cpu_list(cpus: tuple[int, ...] | list[int]) -> str:
+    """Render CPU ids as the kernel's compressed cpulist form."""
+    ordered = sorted(set(int(cpu) for cpu in cpus))
+    if not ordered:
+        return ""
+    spans: list[tuple[int, int]] = []
+    for cpu in ordered:
+        if spans and cpu == spans[-1][1] + 1:
+            spans[-1] = (spans[-1][0], cpu)
+        else:
+            spans.append((cpu, cpu))
+    return ",".join(
+        f"{lo}-{hi}" if hi > lo else f"{lo}" for lo, hi in spans
+    )
+
+
+_SIZE_UNITS = {
+    "": 1,
+    "B": 1,
+    "K": 1024,
+    "KB": 1024,
+    "KIB": 1024,
+    "M": 1024**2,
+    "MB": 1024**2,
+    "MIB": 1024**2,
+    "G": 1024**3,
+    "GB": 1024**3,
+    "GIB": 1024**3,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([A-Za-z]*)\s*$")
+
+
+def parse_size(text: str) -> int:
+    """Parse a sysfs/lscpu size string (``32K``, ``1.5 MiB``) to bytes."""
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable size {text!r}")
+    value, unit = match.groups()
+    try:
+        scale = _SIZE_UNITS[unit.upper()]
+    except KeyError:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}") from None
+    return int(round(float(value) * scale))
+
+
+@dataclass(frozen=True)
+class VirtualTree:
+    """Flat ``path → text`` view of captured sysfs subtrees.
+
+    Build one with :meth:`from_dump` (captured ``path:value`` text),
+    :meth:`from_entries` (synthetic renders, live capture), or merge
+    several dumps by concatenating their text first.
+    """
+
+    entries: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_dump(cls, *texts: str) -> VirtualTree:
+        """Parse one or more flat ``path:value`` dumps into a tree.
+
+        Lines are ``<path>:<value>`` (first colon splits — sysfs leaf
+        values never contain paths); blank lines and ``#`` comments are
+        ignored.  Later dumps override earlier ones, so a host capture
+        can be layered.
+        """
+        entries: dict[str, str] = {}
+        for text in texts:
+            for raw_line in text.splitlines():
+                line = raw_line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                path, sep, value = line.partition(":")
+                if not sep or not path.strip():
+                    raise ValueError(
+                        f"malformed capture line {raw_line!r} — expected "
+                        "'<path>:<value>' (grep -rs . <subtree> format)"
+                    )
+                entries[normalise_path(path)] = value.strip()
+        return cls(entries)
+
+    @classmethod
+    def from_entries(cls, entries: dict[str, str]) -> VirtualTree:
+        """Build a tree from already-normalised path/value pairs."""
+        return cls({normalise_path(path): str(value) for path, value in entries.items()})
+
+    def to_dump(self) -> str:
+        """Render back to the flat capture format, naturally sorted."""
+        lines = [
+            f"{path}:{self.entries[path]}"
+            for path in sorted(self.entries, key=_natural_key)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def get(self, path: str, default: str | None = None) -> str | None:
+        """One leaf's text, or ``default`` when the capture lacks it."""
+        return self.entries.get(normalise_path(path), default)
+
+    def get_int(self, path: str, default: int | None = None) -> int | None:
+        """One leaf as an integer (``default`` when absent or blank)."""
+        text = self.get(path)
+        if text is None or not text.strip():
+            return default
+        return int(text.strip())
+
+    def glob(self, pattern: str) -> list[tuple[str, str]]:
+        """All ``(path, value)`` leaves matching an fnmatch pattern."""
+        pattern = normalise_path(pattern)
+        return [
+            (path, self.entries[path])
+            for path in sorted(self.entries, key=_natural_key)
+            if fnmatch.fnmatch(path, pattern)
+        ]
+
+    def indices(self, pattern: str) -> tuple[int, ...]:
+        """Sorted distinct integers captured by ``{}`` in a pattern.
+
+        ``indices("cpu/cpu{}/topology/core_id")`` → the CPU ids that
+        have a captured ``core_id``; ``indices("node/node{}/cpulist")``
+        → the node ids.  Each placeholder matches one decimal run; the
+        first one is the reported index.
+        """
+        parts = normalise_path(pattern).split("{}")
+        regex = re.compile(r"(\d+)".join(re.escape(part) for part in parts) + r"\Z")
+        found: set[int] = set()
+        for path in self.entries:
+            match = regex.match(path)
+            if match is not None:
+                found.add(int(match.group(1)))
+        return tuple(sorted(found))

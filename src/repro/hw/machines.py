@@ -71,14 +71,23 @@ class ThreadPlacement:
 
     Attributes
     ----------
-    core / cluster:
-        ``(threads,)`` physical core and cluster index of each thread.
+    core / cluster / node:
+        ``(threads,)`` physical core, cluster and NUMA node index of
+        each thread.  Single-node machines (every Table II platform)
+        place the whole team on node 0.
     l1_sharers / l2_sharers:
         ``(threads,)`` how many team threads share that thread's L1D /
         L2.  Non-uniform for team widths that only partially fill a
         sharing domain (5..7 threads on the i7's SMT pairs, 5..7 on the
         X-Gene's clusters): the threads that landed on a shared domain
         see the sharer count, the rest keep their caches private.
+    l3_sharers:
+        ``(threads,)`` how many team threads share that thread's NUMA
+        node — and therefore its L3 slice and memory bandwidth.  On a
+        single-node machine this is the team width for every thread
+        (the L3 is chip-wide); on an ingested multi-node machine it is
+        the node census, so partially-filled node counts are
+        non-uniform exactly like the L1/L2 maps.
     smt_corun:
         ``(threads,)`` whether an SMT sibling co-runs on that thread's
         core (drives the per-thread CPI inflation).
@@ -86,8 +95,10 @@ class ThreadPlacement:
 
     core: np.ndarray
     cluster: np.ndarray
+    node: np.ndarray
     l1_sharers: np.ndarray
     l2_sharers: np.ndarray
+    l3_sharers: np.ndarray
     smt_corun: np.ndarray
 
     @property
@@ -100,6 +111,7 @@ class ThreadPlacement:
         return (
             np.all(self.l1_sharers == self.l1_sharers[0])
             and np.all(self.l2_sharers == self.l2_sharers[0])
+            and np.all(self.l3_sharers == self.l3_sharers[0])
         )
 
 
@@ -138,8 +150,22 @@ class Machine:
     pmu:
         PMU noise parameters.
     network:
-        Inter-node interconnect parameters for distributed-memory
+        Inter-host interconnect parameters for distributed-memory
         (rank) jobs; see :mod:`repro.hw.network`.
+    nodes:
+        NUMA nodes on the chip (1 on every Table II machine; ingested
+        hosts report theirs — see :mod:`repro.hw.ingest`).  Clusters
+        are assigned to nodes round-robin (cluster ``c`` lives on node
+        ``c % nodes``), so the existing cluster-major scatter order
+        naturally scatters across nodes first; each node owns a private
+        L3 slice (``l3`` describes one instance) and its own memory
+        bandwidth domain.  Distinct from *rank* nodes: NUMA nodes share
+        one host, rank nodes are whole separate hosts.
+    numa_distance:
+        Optional ``nodes × nodes`` ACPI SLIT-style distance matrix
+        (diagonal is the local distance, conventionally 10).  Carried
+        from ingestion for reporting and spec round-trips; the
+        performance model keys sharing on node census, not distance.
     """
 
     name: str
@@ -164,6 +190,41 @@ class Machine:
     pmu: PmuNoiseSpec
     l2_shared_by_cluster: bool = False
     network: NetworkSpec = NetworkSpec()
+    nodes: int = 1
+    numa_distance: tuple[tuple[float, ...], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.smt_per_core < 1 or self.clusters < 1:
+            raise ValueError(
+                f"{self.name}: cores/smt_per_core/clusters must be >= 1"
+            )
+        if not 1 <= self.nodes <= self.clusters:
+            raise ValueError(
+                f"{self.name}: nodes must be in 1..clusters "
+                f"({self.clusters}), got {self.nodes} — every NUMA node "
+                f"must own at least one cluster"
+            )
+        if self.numa_distance is not None:
+            rows = self.numa_distance
+            if len(rows) != self.nodes or any(
+                len(row) != self.nodes for row in rows
+            ):
+                raise ValueError(
+                    f"{self.name}: numa_distance must be a "
+                    f"{self.nodes}x{self.nodes} matrix, got "
+                    f"{len(rows)}x{tuple(len(row) for row in rows)}"
+                )
+            for i, row in enumerate(rows):
+                if any(value <= 0 for value in row):
+                    raise ValueError(
+                        f"{self.name}: numa_distance entries must be positive"
+                    )
+                if min(row) < row[i]:
+                    raise ValueError(
+                        f"{self.name}: numa_distance row {i} has an entry "
+                        f"below the local distance {row[i]} — remote nodes "
+                        f"cannot be closer than the node itself"
+                    )
 
     @property
     def max_threads(self) -> int:
@@ -177,12 +238,17 @@ class Machine:
         oversubscription is outside the paper's protocol, so counts
         above ``max_threads`` are rejected explicitly rather than
         silently clamped (the scaling sweep renders such cells as
-        unsupported instead of scheduling them).
+        unsupported instead of scheduling them).  The error names the
+        machine, the requested width and the capacity — including the
+        topology behind the capacity, so ragged geometries (clusters or
+        nodes that do not divide the cores evenly) explain themselves.
         """
         if threads < 1 or threads > self.max_threads:
+            numa = f" across {self.nodes} NUMA nodes" if self.nodes > 1 else ""
             raise ValueError(
                 f"{self.name} exposes {self.max_threads} hardware contexts "
-                f"({self.cores} cores x {self.smt_per_core} SMT); a team of "
+                f"({self.cores} cores x {self.smt_per_core} SMT in "
+                f"{self.clusters} clusters{numa}); a team of "
                 f"{threads} cannot be pinned scatter-first — use 1.."
                 f"{self.max_threads} threads"
             )
@@ -192,7 +258,11 @@ class Machine:
 
         Threads fill one hardware context per core before doubling up on
         SMT siblings, round-robining over clusters so cluster-shared L2s
-        are filled last — the paper's pinning.  Valid (and correct) for
+        are filled last — the paper's pinning.  Because clusters map to
+        NUMA nodes round-robin (cluster ``c`` → node ``c % nodes``),
+        consecutive clusters land on consecutive nodes and the team
+        scatters across nodes first: no node hosts a second thread
+        before every node hosts its first.  Valid (and correct) for
         *every* ``1..max_threads`` count, including the odd and
         partially-filled widths (3, 5, 6, 7) where sharing is
         non-uniform across the team.
@@ -214,15 +284,19 @@ class Machine:
         ]
         core = np.array(order[:threads], dtype=np.int64)
         cluster = core % self.clusters
+        node = cluster % self.nodes
         core_counts = np.bincount(core, minlength=self.cores)
         cluster_counts = np.bincount(cluster, minlength=self.clusters)
+        node_counts = np.bincount(node, minlength=self.nodes)
         l1_sharers = core_counts[core]
         l2_sharers = cluster_counts[cluster] if self.l2_shared_by_cluster else l1_sharers
         return ThreadPlacement(
             core=core,
             cluster=cluster,
+            node=node,
             l1_sharers=l1_sharers,
             l2_sharers=l2_sharers,
+            l3_sharers=node_counts[node],
             smt_corun=(l1_sharers > 1),
         )
 
@@ -244,9 +318,17 @@ class Machine:
         return int(self.placement(threads).l2_sharers.max())
 
     def l3_sharers(self, threads: int) -> int:
-        """Threads sharing the L3 (all of them; it is chip-wide)."""
-        self.validate_threads(threads)
-        return threads
+        """Most threads sharing one L3 slice under scatter-first pinning.
+
+        On a single-node machine the L3 is chip-wide, so this is the
+        team width; on a multi-node machine it is the largest node
+        census (scatter-first keeps nodes balanced to within one
+        thread).  The per-thread truth is ``placement(threads).l3_sharers``.
+        """
+        if self.nodes == 1:
+            self.validate_threads(threads)
+            return threads
+        return int(self.placement(threads).l3_sharers.max())
 
     def smt_active(self, threads: int) -> bool:
         """Whether any SMT pair co-runs at this team width."""
@@ -265,7 +347,9 @@ class Machine:
         the shared-memory case.
         """
         if ranks < 1:
-            raise ValueError(f"ranks must be >= 1, got {ranks}")
+            raise ValueError(
+                f"{self.name}: ranks must be >= 1, got {ranks}"
+            )
         self.validate_threads(threads)
 
     def supports_hybrid(self, ranks: int, threads: int) -> bool:
@@ -284,23 +368,47 @@ class Machine:
         coalesced distributed traces.
         """
         self.validate_hybrid(ranks, threads)
-        node = self.placement(threads)
+        team = self.placement(threads)
         return ThreadPlacement(
             core=np.concatenate(
-                [node.core + r * self.cores for r in range(ranks)]
+                [team.core + r * self.cores for r in range(ranks)]
             ),
             cluster=np.concatenate(
-                [node.cluster + r * self.clusters for r in range(ranks)]
+                [team.cluster + r * self.clusters for r in range(ranks)]
             ),
-            l1_sharers=np.tile(node.l1_sharers, ranks),
-            l2_sharers=np.tile(node.l2_sharers, ranks),
-            smt_corun=np.tile(node.smt_corun, ranks),
+            node=np.concatenate(
+                [team.node + r * self.nodes for r in range(ranks)]
+            ),
+            l1_sharers=np.tile(team.l1_sharers, ranks),
+            l2_sharers=np.tile(team.l2_sharers, ranks),
+            l3_sharers=np.tile(team.l3_sharers, ranks),
+            smt_corun=np.tile(team.smt_corun, ranks),
         )
 
     def memory_penalty(self, threads: int) -> float:
-        """L3-miss penalty including bandwidth contention."""
+        """L3-miss penalty including bandwidth contention (whole team).
+
+        Uniform single-domain contention — correct for single-node
+        machines where the whole team shares one memory interface.  On
+        multi-node machines bandwidth is per node: use
+        :meth:`node_memory_penalty` with a node's census (the
+        performance model does, via ``placement().l3_sharers``).
+        """
         self.validate_threads(threads)
-        return self.penalty_mem * (1.0 + self.bandwidth_slope * (threads - 1))
+        return self.node_memory_penalty(threads)
+
+    def node_memory_penalty(self, sharers: int) -> float:
+        """L3-miss penalty when ``sharers`` threads contend on one node.
+
+        Bandwidth contention scales with the threads sharing a node's
+        memory interface, not the whole team — on a single-node machine
+        the two coincide.
+        """
+        if sharers < 1:
+            raise ValueError(
+                f"{self.name}: node sharers must be >= 1, got {sharers}"
+            )
+        return self.penalty_mem * (1.0 + self.bandwidth_slope * (sharers - 1))
 
     def table_row(self) -> tuple[str, str]:
         """(platform, description) row reproducing Table II."""

@@ -160,7 +160,7 @@ class PerfModel:
         # the paper's 1/2/4/8 widths but non-uniform at partially-filled
         # widths (5..7 on the i7, 5..7 on the X-Gene clusters).  Threads
         # with identical sharing are grouped so each distinct capacity
-        # pair evaluates the miss model exactly once.  Distributed
+        # triple evaluates the miss model exactly once.  Distributed
         # traces tile the node placement across one node per rank, so
         # cache sharing — including the L3 and the memory bandwidth —
         # never crosses a rank boundary.
@@ -169,25 +169,37 @@ class PerfModel:
             if ranks > 1
             else machine.placement(threads)
         )
-        cap_l3 = machine.l3.effective_capacity(machine.l3_sharers(team))
-        sharing_groups: list[tuple[float, float, np.ndarray]] = []
-        for s1, s2 in dict.fromkeys(
-            zip(placement.l1_sharers.tolist(), placement.l2_sharers.tolist(), strict=True)
+        # The L3 and the memory interface are per NUMA node: a thread's
+        # effective L3 slice and its bandwidth contention follow its
+        # node census (placement.l3_sharers), which on single-node
+        # machines is the team width for every thread — reproducing the
+        # chip-wide L3 and uniform memory penalty bit-identically.
+        sharing_groups: list[tuple[float, float, float, float, np.ndarray]] = []
+        for s1, s2, s3 in dict.fromkeys(
+            zip(
+                placement.l1_sharers.tolist(),
+                placement.l2_sharers.tolist(),
+                placement.l3_sharers.tolist(),
+                strict=True,
+            )
         ):
             cols = np.flatnonzero(
-                (placement.l1_sharers == s1) & (placement.l2_sharers == s2)
+                (placement.l1_sharers == s1)
+                & (placement.l2_sharers == s2)
+                & (placement.l3_sharers == s3)
             )
             sharing_groups.append(
                 (
                     machine.l1d.effective_capacity(s1),
                     machine.l2.effective_capacity(s2),
+                    machine.l3.effective_capacity(s3),
+                    machine.node_memory_penalty(s3),
                     cols,
                 )
             )
         smt_factors = np.where(
             placement.smt_corun, machine.smt_cpi_penalty, 1.0
         )  # (threads,)
-        mem_penalty = machine.memory_penalty(team)
         isa = machine.isa
 
         per_template: list[np.ndarray] = []
@@ -238,7 +250,7 @@ class PerfModel:
                 mult_base = np.exp(machine.uarch_sigma_misses * z_l1)
                 mult_base_l2 = np.exp(machine.uarch_sigma_misses * z_l2)
 
-                for cap_l1, cap_l2, cols in sharing_groups:
+                for cap_l1, cap_l2, cap_l3, mem_penalty, cols in sharing_groups:
                     fr1, fr2, fr3 = miss_fraction_levels(
                         pattern.kind,
                         fp_lines,

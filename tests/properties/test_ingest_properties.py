@@ -1,0 +1,168 @@
+"""Property tests for machine ingestion (render → parse → lower).
+
+Two families:
+
+* **Losslessness** — for random synthetic hosts, rendering the capture
+  files and lowering them back recovers every parameter exactly (and
+  twice in a row, since the lowering is a pure function).
+* **Placement** — on the lowered machines, every team width from 1 to
+  ``max_threads`` pins scatter-first across NUMA nodes: no node hosts a
+  second thread before all nodes host one, and the per-thread
+  ``l3_sharers`` entries are exactly the node census.
+
+Strategy constraints mirror the documented canonical forms in
+:class:`repro.hw.ingest.synth.SynthHost`: ``l2_shared`` implies
+``clusters < cores`` (an L2 spanning one core canonicalises to
+per-core), per-core L2 uses ``clusters == cores``, nodes never exceed
+clusters, and frequencies are integer kHz so the kHz → GHz division
+round-trips through floats exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.ingest import HostDescriptor, lower_descriptor, render_host
+from repro.hw.ingest.synth import SynthHost
+
+pytestmark = pytest.mark.properties
+
+
+@st.composite
+def synth_hosts(draw) -> SynthHost:
+    cores = draw(st.integers(min_value=1, max_value=24))
+    smt = draw(st.integers(min_value=1, max_value=4))
+    l2_shared = cores >= 2 and draw(st.booleans())
+    if l2_shared:
+        clusters = draw(st.integers(min_value=1, max_value=cores - 1))
+    else:
+        clusters = cores
+    nodes = draw(st.integers(min_value=1, max_value=clusters))
+    # A single-node distance matrix is trivial and canonicalised away
+    # by the lowering, so only multi-node hosts carry one.
+    if nodes > 1 and draw(st.booleans()):
+        local = draw(st.integers(min_value=10, max_value=20))
+        distance = tuple(
+            tuple(
+                float(local if i == j else draw(st.integers(min_value=local, max_value=62)))
+                for j in range(nodes)
+            )
+            for i in range(nodes)
+        )
+    else:
+        distance = None
+    line = draw(st.sampled_from([32, 64, 128]))
+    ways = st.sampled_from([2, 4, 8, 16])
+    sets = st.integers(min_value=2, max_value=512)
+    l1_ways, l2_ways, l3_ways = draw(ways), draw(ways), draw(ways)
+    base = draw(st.integers(min_value=200, max_value=4_000)) * 1_000
+    return SynthHost(
+        name="prop-host",
+        architecture=draw(st.sampled_from(["x86_64", "aarch64"])),
+        cores=cores,
+        smt=smt,
+        clusters=clusters,
+        nodes=nodes,
+        l2_shared=l2_shared,
+        l1d_bytes=line * l1_ways * draw(sets),
+        l1_ways=l1_ways,
+        l2_bytes=line * l2_ways * draw(sets),
+        l2_ways=l2_ways,
+        l3_bytes=line * l3_ways * draw(sets),
+        l3_ways=l3_ways,
+        line_bytes=line,
+        base_khz=base,
+        min_khz=draw(st.one_of(st.none(), st.just(base // 2))),
+        max_khz=draw(st.one_of(st.none(), st.just(base * 2))),
+        numa_distance=distance,
+    )
+
+
+def _lower(host: SynthHost):
+    files = render_host(host)
+    desc = HostDescriptor.from_text(
+        host.name, files["lscpu.txt"], (files["cpu.txt"], files["node.txt"])
+    )
+    return lower_descriptor(desc)
+
+
+class TestRoundTripLosslessness:
+    @given(host=synth_hosts())
+    @settings(max_examples=50, deadline=None)
+    def test_topology_and_caches_survive(self, host: SynthHost):
+        lowered = _lower(host)
+        m = lowered.machine
+        assert m.cores == host.cores
+        assert m.smt_per_core == host.smt
+        assert m.clusters == host.clusters
+        assert m.l2_shared_by_cluster == host.l2_shared
+        assert m.nodes == host.nodes
+        assert m.numa_distance == host.numa_distance
+        assert m.freq_ghz == host.base_khz / 1_000_000.0
+        assert m.l1d.size_bytes == host.l1d_bytes
+        assert m.l1d.associativity == host.l1_ways
+        assert m.l1d.line_bytes == host.line_bytes
+        assert m.l2.size_bytes == host.l2_bytes
+        assert m.l2.associativity == host.l2_ways
+        assert m.l3.size_bytes == host.l3_bytes
+        assert m.l3.associativity == host.l3_ways
+        # Fully-specified captures never need fallbacks.
+        assert lowered.notes == ()
+
+    @given(host=synth_hosts())
+    @settings(max_examples=25, deadline=None)
+    def test_lowering_is_a_pure_function(self, host: SynthHost):
+        assert _lower(host).machine == _lower(host).machine
+
+    @given(host=synth_hosts())
+    @settings(max_examples=25, deadline=None)
+    def test_descriptor_notes_are_clean(self, host: SynthHost):
+        files = render_host(host)
+        desc = HostDescriptor.from_text(
+            host.name, files["lscpu.txt"], (files["cpu.txt"], files["node.txt"])
+        )
+        assert desc.notes() == []
+
+
+class TestPlacementProperties:
+    @given(host=synth_hosts())
+    @settings(max_examples=50, deadline=None)
+    def test_every_width_pins_and_scatters_nodes_first(self, host: SynthHost):
+        m = _lower(host).machine
+        full = m.placement(m.max_threads)
+        for width in range(1, m.max_threads + 1):
+            placement = m.placement(width)
+            # Widening a team never moves the threads already placed.
+            assert np.array_equal(placement.core, full.core[:width])
+            assert np.array_equal(placement.node, full.node[:width])
+            census = np.bincount(placement.node, minlength=m.nodes)
+            assert census.sum() == width
+            # Scatter-first: while one thread per L2 cluster still fits,
+            # node occupancies stay within one of each other — so no
+            # node hosts a second thread before every node hosts one.
+            if width <= m.clusters:
+                assert census.max() - census.min() <= 1
+            if width <= m.nodes:
+                assert census.max() <= 1
+            # l3_sharers is exactly the node census of the owning node:
+            # no sharer map ever crosses a NUMA node boundary.
+            assert np.array_equal(placement.l3_sharers, census[placement.node])
+
+    @given(host=synth_hosts())
+    @settings(max_examples=50, deadline=None)
+    def test_full_width_covers_every_context(self, host: SynthHost):
+        m = _lower(host).machine
+        placement = m.placement(m.max_threads)
+        cores, counts = np.unique(placement.core, return_counts=True)
+        assert cores.tolist() == list(range(m.cores))
+        assert (counts == m.smt_per_core).all()
+
+    @given(host=synth_hosts())
+    @settings(max_examples=25, deadline=None)
+    def test_over_capacity_rejected_by_name(self, host: SynthHost):
+        m = _lower(host).machine
+        with pytest.raises(ValueError, match=m.name):
+            m.placement(m.max_threads + 1)

@@ -142,6 +142,104 @@ class TestMachineTopology:
         assert INTEL_I7_3770.l1d.capture_rate(PatternKind.STREAM) == 1.0
 
 
+class TestNumaPlacement:
+    """nodes / numa_distance topology extension (ingested machines)."""
+
+    def _two_node_xgene(self):
+        from dataclasses import replace
+
+        return replace(APM_XGENE, name="xgene-2node", nodes=2)
+
+    def test_builtins_are_single_node(self):
+        assert INTEL_I7_3770.nodes == 1
+        assert INTEL_I7_3770.numa_distance is None
+        placement = INTEL_I7_3770.placement(8)
+        assert set(placement.node.tolist()) == {0}
+        # Single node: the whole team shares the one L3 domain.
+        assert placement.l3_sharers.tolist() == [8] * 8
+        assert INTEL_I7_3770.l3_sharers(8) == 8
+
+    def test_two_node_machine_scatters_nodes_first(self):
+        m = self._two_node_xgene()
+        # Clusters alternate across nodes: cluster k sits on node k % 2.
+        placement = m.placement(4)
+        assert placement.cluster.tolist() == [0, 1, 2, 3]
+        assert placement.node.tolist() == [0, 1, 0, 1]
+        assert placement.l3_sharers.tolist() == [2, 2, 2, 2]
+        # Width 2 lands on two different nodes: fully private L3.
+        assert m.placement(2).node.tolist() == [0, 1]
+        assert m.l3_sharers(2) == 1
+        assert m.l3_sharers(8) == 4  # worst-case node census
+
+    def test_exact_capacity_boundary(self):
+        m = self._two_node_xgene()
+        placement = m.placement(m.max_threads)
+        assert placement.threads == 8
+        assert np.bincount(placement.node).tolist() == [4, 4]
+
+    def test_over_capacity_error_names_machine_width_capacity(self):
+        m = self._two_node_xgene()
+        with pytest.raises(ValueError) as exc:
+            m.placement(m.max_threads + 1)
+        message = str(exc.value)
+        assert "xgene-2node" in message
+        assert "8 hardware contexts" in message
+        assert "a team of 9" in message
+        assert "use 1..8 threads" in message
+        assert "across 2 NUMA nodes" in message
+
+    def test_single_node_error_omits_numa_clause(self):
+        with pytest.raises(ValueError) as exc:
+            INTEL_I7_3770.placement(9)
+        message = str(exc.value)
+        assert "INTEL_I7_3770" in message or INTEL_I7_3770.name in message
+        assert "NUMA" not in message
+
+    def test_zero_and_negative_widths_rejected(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="a team of " + str(bad)):
+                INTEL_I7_3770.placement(bad)
+
+    def test_nodes_bounds_validated(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match=r"nodes must be in 1\.\.clusters"):
+            replace(APM_XGENE, nodes=5)
+        with pytest.raises(ValueError, match="nodes must be in"):
+            replace(APM_XGENE, nodes=0)
+
+    def test_numa_distance_shape_validated(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="2x2 matrix"):
+            replace(APM_XGENE, nodes=2, numa_distance=((10.0, 21.0),))
+        with pytest.raises(ValueError, match="must be positive"):
+            replace(APM_XGENE, nodes=2, numa_distance=((10.0, -1.0), (21.0, 10.0)))
+        with pytest.raises(ValueError, match="cannot be closer"):
+            replace(APM_XGENE, nodes=2, numa_distance=((10.0, 9.0), (21.0, 10.0)))
+        ok = replace(APM_XGENE, nodes=2, numa_distance=((10.0, 21.0), (21.0, 10.0)))
+        assert ok.numa_distance == ((10.0, 21.0), (21.0, 10.0))
+
+    def test_node_memory_penalty_per_census(self):
+        m = self._two_node_xgene()
+        # Penalty is per node-local sharer count, not team width.
+        assert m.node_memory_penalty(1) == m.memory_penalty(1)
+        assert m.node_memory_penalty(4) > m.node_memory_penalty(2)
+        with pytest.raises(ValueError, match="xgene-2node"):
+            m.node_memory_penalty(0)
+
+    def test_hybrid_placement_offsets_nodes_per_rank(self):
+        m = self._two_node_xgene()
+        hybrid = m.hybrid_placement(ranks=2, threads=2)
+        # Rank r occupies virtual nodes r*nodes .. r*nodes+nodes-1.
+        assert hybrid.node.tolist() == [0, 1, 2, 3]
+        assert (hybrid.l3_sharers >= 1).all()
+
+    def test_validate_hybrid_error_names_machine(self):
+        with pytest.raises(ValueError, match=APM_XGENE.name):
+            APM_XGENE.validate_hybrid(ranks=0, threads=1)
+
+
 class TestPmuNoise:
     def setup_method(self):
         self.spec = PmuNoiseSpec(
