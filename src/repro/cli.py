@@ -23,6 +23,7 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro serve           # always-on artifact service (JSON over HTTP)
     repro client          # command-line client for a running daemon
     repro lint            # RPR invariant checker (static analysis)
+    repro chaos           # seeded fault-injection run (resilience drill)
 
 ``--scale quick`` (or the ``--quick`` shorthand) shrinks the protocol
 (3 discovery runs, 5 repetitions) for a fast look; the default
@@ -164,6 +165,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the on-disk study cache"
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells a crashed run already finished (consults the "
+        "study checkpoint journal; cleared on full success)",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject a seeded fault schedule, e.g. "
+        "'seed=7,kill=0.3,torn=0.2' (keys: seed, kill, exc, torn, "
+        "enospc, latency, latency_rate, max); results stay "
+        "byte-identical to a fault-free run",
+    )
+    parser.add_argument(
+        "--cell-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per failed cell before quarantine (default 2)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; overrunning workers are "
+        "killed and the cell retried (0 disables, the default)",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print scheduler statistics to stderr",
@@ -204,6 +235,28 @@ def _config_from_args(args: argparse.Namespace):
         overrides["machines"] = tuple(
             name.strip() for name in args.machines.split(",") if name.strip()
         )
+    if getattr(args, "resume", False):
+        overrides["resume"] = True
+    if getattr(args, "faults", None):
+        from repro.exec.faults import FaultPlan
+
+        try:
+            FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        overrides["faults"] = args.faults
+    if getattr(args, "cell_retries", None) is not None:
+        if args.cell_retries < 0:
+            raise SystemExit(
+                f"error: --cell-retries must be >= 0, got {args.cell_retries}"
+            )
+        overrides["cell_retries"] = args.cell_retries
+    if getattr(args, "cell_timeout", None) is not None:
+        if args.cell_timeout < 0:
+            raise SystemExit(
+                f"error: --cell-timeout must be >= 0, got {args.cell_timeout}"
+            )
+        overrides["cell_timeout"] = args.cell_timeout
     config = default_config(scale, **overrides)
     if getattr(args, "max_k", None) is not None:
         from dataclasses import replace as _replace
@@ -260,6 +313,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.exec.chaos import chaos_main
+
+        return chaos_main(argv[1:])
     if argv[:2] == ["machines", "ingest"]:
         from repro.hw.ingest.cli import ingest_main
 
@@ -348,6 +405,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.profile:
             print()
             print(stats.profile_table())
+    # The command rendered everything it was asked for; a future
+    # --resume should start fresh rather than trust stale progress.
+    scheduler.checkpoint.clear()
     return 0
 
 

@@ -63,6 +63,11 @@ class SerialBackend:
     def map(self, fn: Callable, items: Sequence) -> list:
         return [fn(item) for item in items]
 
+    def map_supervised(self, fn, items, keys, policy, on_complete=None):
+        from repro.exec.supervise import run_sequential_supervised
+
+        return run_sequential_supervised(fn, items, keys, policy, on_complete)
+
 
 class ThreadPoolBackend:
     """Run cells on a thread pool (shared interpreter, shared memory)."""
@@ -77,6 +82,13 @@ class ThreadPoolBackend:
             return [fn(item) for item in items]
         with ThreadPoolExecutor(max_workers=self.jobs) as pool:
             return list(pool.map(fn, items))
+
+    def map_supervised(self, fn, items, keys, policy, on_complete=None):
+        from repro.exec.supervise import run_threaded_supervised
+
+        return run_threaded_supervised(
+            self.jobs, fn, items, keys, policy, on_complete
+        )
 
 
 class ProcessPoolBackend:
@@ -108,6 +120,19 @@ class ProcessPoolBackend:
         )
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items, chunksize=chunksize))
+
+    def map_supervised(self, fn, items, keys, policy, on_complete=None):
+        from repro.exec.supervise import (
+            ProcessSupervision,
+            run_sequential_supervised,
+        )
+
+        if self.jobs == 1:
+            # A one-job pool would run inline anyway; supervise inline
+            # (a scheduled worker kill degrades to a raised
+            # InjectedWorkerKill there, so retries still exercise).
+            return run_sequential_supervised(fn, items, keys, policy, on_complete)
+        return ProcessSupervision(self.jobs, policy).run(fn, items, keys, on_complete)
 
 
 BACKEND_NAMES: dict[str, type] = {

@@ -82,6 +82,12 @@ def write_payload_atomic(path: Path, payload, durable: bool = True) -> int:
     # module scope (api.builder imports exec.stagestore, which imports
     # this module — a top-level import would close that cycle).
     from repro.api.codec import encode_payload
+    from repro.exec.faults import active_plan
+
+    # Consult the fault plane up front: an injected ``enospc`` raises
+    # before any byte lands; an injected ``torn`` write publishes a
+    # truncated container the reader must heal back to a miss.
+    fault = active_plan().on_write(path.name)
 
     meta, arrays = encode_payload(payload)
     descriptors = []
@@ -135,6 +141,13 @@ def write_payload_atomic(path: Path, payload, durable: bool = True) -> int:
         with os.fdopen(fd, "wb") as handle:
             for part in body_parts:
                 handle.write(part)
+            if fault == "torn":
+                # A truncated container reads as bad magic / truncated
+                # header / truncated segment — every case a self-healing
+                # miss, never wrong bytes (asserted by the torn-write
+                # property suite at every byte boundary).
+                handle.flush()
+                handle.truncate(max(1, total // 2))
             if durable:
                 handle.flush()
                 # fsync before rename: os.replace is atomic in the
@@ -210,10 +223,13 @@ def read_payload_file(path: Path) -> tuple[object, int] | None:
         TypeError,
         json.JSONDecodeError,
     ):
+        from repro.exec.health import record_heal
+
         try:
             path.unlink()
         except OSError:
             pass
+        record_heal("container")
         return None
 
 
@@ -389,10 +405,13 @@ class TraceTileReader:
         except FileNotFoundError:
             raise
         except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+            from repro.exec.health import record_heal
+
             try:
                 self._path.unlink()
             except OSError:
                 pass
+            record_heal("tile")
             raise FileNotFoundError(
                 f"corrupt tiled container: {self._path}"
             ) from None

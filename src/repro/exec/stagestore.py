@@ -83,7 +83,17 @@ _SUM_COUNTER_NAMES = (
     "run_seconds",
     "load_seconds",
     "store_seconds",
+    "heals",
+    "faults",
+    "store_errors",
 )
+
+#: Families keyed by *site*, not stage name (``heals``/``faults`` count
+#: self-heal recoveries and injected-fault firings — see
+#: :mod:`repro.exec.health`).  They ride the same snapshot/delta/merge
+#: round trip but are excluded from the per-stage profile rows and
+#: reported as a summary footer instead.
+_SITE_COUNTER_NAMES = ("heals", "faults", "store_errors")
 
 #: High-water-mark families: snapshotted with the rest but merged with
 #: ``max`` instead of ``+`` — a peak observed by two workers is one
@@ -119,6 +129,9 @@ class StageCacheStats:
     run_seconds: Counter = field(default_factory=Counter)
     load_seconds: Counter = field(default_factory=Counter)
     store_seconds: Counter = field(default_factory=Counter)
+    heals: Counter = field(default_factory=Counter)
+    faults: Counter = field(default_factory=Counter)
+    store_errors: Counter = field(default_factory=Counter)
     rss_peak_kib: Counter = field(default_factory=Counter)
 
     def hit_count(self, stage: str) -> int:
@@ -195,16 +208,44 @@ class StageCacheStats:
         """One-line summary for verbose CLI output."""
         stages = sorted(set(self.hits) | set(self.misses))
         if not stages:
-            return "no stage cache traffic"
-        parts = [f"{s}:{self.hits[s]}/{self.hits[s] + self.misses[s]}" for s in stages]
-        return "stage cache hits " + " ".join(parts)
+            summary = "no stage cache traffic"
+        else:
+            parts = [
+                f"{s}:{self.hits[s]}/{self.hits[s] + self.misses[s]}" for s in stages
+            ]
+            summary = "stage cache hits " + " ".join(parts)
+        extra = self.health_summary()
+        return f"{summary}; {extra}" if extra else summary
+
+    def health_summary(self) -> str:
+        """Heal/fault/store-error footer line ('' when nothing happened).
+
+        Self-heal recoveries used to be silent; surfacing them is what
+        separates "cold cache" from "a disk that tears one write a day".
+        """
+        parts = []
+        for label, counter in (
+            ("self-heals", self.heals),
+            ("injected-faults", self.faults),
+            ("store-errors", self.store_errors),
+        ):
+            if counter:
+                detail = " ".join(f"{k}:{v}" for k, v in sorted(counter.items()))
+                parts.append(f"{label} {detail}")
+        return "; ".join(parts)
 
     def profile_table(self) -> str:
         """Per-stage wall-time / bytes table (the ``--profile`` report)."""
         from repro.util.tables import render_table
 
         stages = sorted(
-            set().union(*(getattr(self, name) for name in _COUNTER_NAMES))
+            set().union(
+                *(
+                    getattr(self, name)
+                    for name in _COUNTER_NAMES
+                    if name not in _SITE_COUNTER_NAMES
+                )
+            )
         )
         if not stages:
             return "no stage activity recorded"
@@ -234,7 +275,7 @@ class StageCacheStats:
             # A high-water mark totals as a max, not a sum.
             _human_rss(max(self.rss_peak_kib.values(), default=0)),
         )
-        return render_table(
+        table = render_table(
             (
                 "Stage",
                 "Run (s)",
@@ -248,6 +289,8 @@ class StageCacheStats:
             rows + [totals],
             title="Stage profile",
         )
+        extra = self.health_summary()
+        return f"{table}\n{extra}" if extra else table
 
 
 def _human_rss(kib: int) -> str:
@@ -288,6 +331,12 @@ class StageStore:
     def __init__(self, cache_dir: str | os.PathLike) -> None:
         self._dir = Path(cache_dir) / "stages" if cache_dir else None
         self.stats = StageCacheStats()
+        # Heal/fault increments from the store and columnar layers (which
+        # have no stage context) land in these counters via the sink
+        # registry, so they ride the existing worker-delta round trip.
+        from repro.exec.health import register_stats_sink
+
+        register_stats_sink(self.stats)
 
     @property
     def enabled(self) -> bool:
@@ -360,16 +409,24 @@ class StageStore:
         if path is None:
             return
         started = time.perf_counter()
-        if self._legacy():
-            from repro.api.codec import payload_to_jsonable
+        try:
+            if self._legacy():
+                from repro.api.codec import payload_to_jsonable
 
-            write_json_atomic(path, payload_to_jsonable(payload))
-            nbytes = path.stat().st_size
-        else:
-            # durable=False: a torn container self-heals as a cache miss
-            # on the next read, so stage entries trade the fsync (which
-            # would dominate cold writes at hundreds of MiB) for speed.
-            nbytes = write_payload_atomic(path, payload, durable=False)
+                write_json_atomic(path, payload_to_jsonable(payload))
+                nbytes = path.stat().st_size
+            else:
+                # durable=False: a torn container self-heals as a cache
+                # miss on the next read, so stage entries trade the fsync
+                # (which would dominate cold writes at hundreds of MiB)
+                # for speed.
+                nbytes = write_payload_atomic(path, payload, durable=False)
+        except OSError:
+            # A full or failing disk degrades the cache, never the run:
+            # the payload is already in memory, the slot stays a miss.
+            self.stats.store_errors[stage_name] += 1
+            self.stats.store_seconds[stage_name] += time.perf_counter() - started
+            return
         self.stats.bytes_encoded[stage_name] += nbytes
         self.stats.store_seconds[stage_name] += time.perf_counter() - started
 

@@ -62,17 +62,40 @@ def read_json(path: Path):
     try:
         return json.loads(path.read_text())
     except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        from repro.exec.health import record_heal
+
         try:
             path.unlink()
         except OSError:
             pass
+        record_heal("json")
         return None
 
 
 def write_json_atomic(path: Path, payload) -> None:
-    """Atomically persist one JSON payload (temp file + fsync + rename)."""
+    """Atomically persist one JSON payload (temp file + fsync + rename).
+
+    Consults the fault plane first: an injected ``enospc`` raises
+    before any byte lands; an injected ``torn`` write publishes a
+    deliberately truncated entry, which the next :func:`read_json`
+    must recover as a clean miss (the self-heal path under test).
+    """
+    from repro.exec.faults import active_plan
+
+    fault = active_plan().on_write(path.name)
     path.parent.mkdir(parents=True, exist_ok=True)
     text = json.dumps(payload, indent=1, sort_keys=True)
+    if fault == "torn":
+        torn = text[: max(1, len(text) // 2)]
+        try:
+            json.loads(torn)
+        except json.JSONDecodeError:
+            text = torn
+        else:
+            # A prefix of a scalar payload can still be valid JSON; a
+            # torn entry must read as *corrupt*, never as wrong bytes,
+            # so fall back to trailing frame garbage instead.
+            text = text + "\x00"
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:

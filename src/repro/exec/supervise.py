@@ -1,0 +1,393 @@
+"""Per-cell supervision: bounded retries, timeouts, respawn, quarantine.
+
+The scheduler's fan-out used to assume every cell either returns or
+raises; a worker that dies (OOM killer, segfaulting native extension,
+an injected SIGKILL from the :mod:`fault plane <repro.exec.faults>`)
+took the whole ``ProcessPoolExecutor`` — and the study — down with it.
+This module wraps each backend's map with a supervisor that
+
+* retries a failed cell up to :attr:`RetryPolicy.retries` times, with
+  exponential backoff and deterministic jitter
+  (:func:`repro.exec.faults.backoff_delay` — replayable by seed);
+* enforces a per-cell wall-clock timeout.  On the ``processes``
+  backend an overrunning cell's workers are killed and the pool is
+  respawned; inline execution (serial/threads) cannot be preempted, so
+  there the overrun is recorded post-hoc and the result kept;
+* detects a crashed worker (``BrokenProcessPool``), respawns the pool,
+  and charges the retry budget only to the cells that were *observed
+  running* when it broke — innocent queued cells are resubmitted for
+  free;
+* quarantines a cell that exhausts its budget instead of aborting the
+  grid: the rest of the study completes, then the scheduler fails the
+  run with a :class:`QuarantinedCellError` diagnostic naming every
+  quarantined cell and its last error.
+
+Completion callbacks fire in the *supervisor's* process as each cell
+finishes (never from a pool thread), which is what lets the scheduler
+journal per-completion checkpoints that survive a driver SIGKILL.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.exec.faults import backoff_delay
+
+__all__ = [
+    "RetryPolicy",
+    "CellFailure",
+    "SupervisionReport",
+    "QuarantinedCellError",
+    "run_sequential_supervised",
+    "run_threaded_supervised",
+    "ProcessSupervision",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout budget applied to every supervised cell.
+
+    ``retries`` bounds *additional* attempts after the first (so a cell
+    runs at most ``retries + 1`` times); ``timeout`` is the per-attempt
+    wall clock in seconds (0 disables); ``backoff``/``seed`` feed
+    :func:`~repro.exec.faults.backoff_delay`.
+    """
+
+    retries: int = 2
+    timeout: float = 0.0
+    backoff: float = 0.05
+    seed: int = 0
+
+
+@dataclass
+class CellFailure:
+    """One quarantined cell: its key, attempt count and last error."""
+
+    key: str
+    attempts: int
+    error: str
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor had to do to finish (or give up on) a map."""
+
+    retries: int = 0
+    respawns: int = 0
+    timeouts: int = 0
+    quarantined: list = field(default_factory=list)
+
+
+class QuarantinedCellError(RuntimeError):
+    """Raised after the grid finishes when any cell exhausted its budget."""
+
+    def __init__(self, failures: Sequence[CellFailure]) -> None:
+        self.failures = list(failures)
+        lines = "\n".join(
+            f"  {f.key}: {f.attempts} attempt(s), last error: {f.error}"
+            for f in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} cell(s) quarantined after exhausting "
+            f"their retry budget:\n{lines}\n"
+            "Completed cells were checkpointed; rerun with --resume after "
+            "addressing the cause to execute only the quarantined cells."
+        )
+
+
+def run_sequential_supervised(
+    fn: Callable,
+    items: Sequence,
+    keys: Sequence[str],
+    policy: RetryPolicy,
+    on_complete: Callable | None = None,
+) -> tuple[list, SupervisionReport]:
+    """Supervised serial map: retry inline, record post-hoc timeouts."""
+    report = SupervisionReport()
+    results: list = [None] * len(items)
+    for index, (item, key) in enumerate(zip(items, keys, strict=True)):
+        attempts = 0
+        while True:
+            attempts += 1
+            started = time.monotonic()
+            try:
+                result = fn(item, attempts)
+            except Exception as exc:  # supervision boundary: retry or quarantine
+                if attempts > policy.retries:
+                    report.quarantined.append(CellFailure(key, attempts, repr(exc)))
+                    break
+                report.retries += 1
+                delay = backoff_delay(policy.seed, key, attempts, policy.backoff)
+                if delay:
+                    time.sleep(delay)
+                continue
+            if policy.timeout and time.monotonic() - started > policy.timeout:
+                # Inline execution cannot be preempted; the overrun is
+                # recorded but the (already computed) result is kept.
+                report.timeouts += 1
+            results[index] = result
+            if on_complete is not None:
+                on_complete(index, result, attempts)
+            break
+    return results, report
+
+
+def run_threaded_supervised(
+    jobs: int,
+    fn: Callable,
+    items: Sequence,
+    keys: Sequence[str],
+    policy: RetryPolicy,
+    on_complete: Callable | None = None,
+) -> tuple[list, SupervisionReport]:
+    """Supervised thread-pool map.
+
+    Each worker thread runs its own retry loop (failures stay on the
+    thread that owns the cell); completion callbacks and report merging
+    happen on the calling thread, in completion order.
+    """
+    if jobs <= 1 or len(items) <= 1:
+        return run_sequential_supervised(fn, items, keys, policy, on_complete)
+    report = SupervisionReport()
+    results: list = [None] * len(items)
+
+    def attempt_loop(index: int):
+        item, key = items[index], keys[index]
+        attempts, retries, timeouts = 0, 0, 0
+        while True:
+            attempts += 1
+            started = time.monotonic()
+            try:
+                result = fn(item, attempts)
+            except Exception as exc:  # supervision boundary: retry or quarantine
+                if attempts > policy.retries:
+                    return None, attempts, repr(exc), retries, timeouts
+                retries += 1
+                delay = backoff_delay(policy.seed, key, attempts, policy.backoff)
+                if delay:
+                    time.sleep(delay)
+                continue
+            if policy.timeout and time.monotonic() - started > policy.timeout:
+                timeouts += 1
+            return result, attempts, None, retries, timeouts
+
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = {pool.submit(attempt_loop, i): i for i in range(len(items))}
+        for future in as_completed(futures):
+            index = futures[future]
+            result, attempts, error, retries, timeouts = future.result()
+            report.retries += retries
+            report.timeouts += timeouts
+            if error is not None:
+                report.quarantined.append(CellFailure(keys[index], attempts, error))
+                continue
+            results[index] = result
+            if on_complete is not None:
+                on_complete(index, result, attempts)
+    return results, report
+
+
+class ProcessSupervision:
+    """Supervised process-pool map with crash detection and respawn.
+
+    Unlike :meth:`ProcessPoolBackend.map`'s chunked ``pool.map`` (the
+    fast path for fault-free bulk dispatch), supervision submits one
+    future per cell: per-cell completion events are what enable crash
+    attribution, per-cell timeouts and per-completion checkpointing.
+    The extra round trips are noise for cold cells, and warm cells
+    never reach a backend at all.
+    """
+
+    #: How often the supervisor samples future states (running-worker
+    #: attribution and timeout enforcement both ride this clock).
+    POLL_SECONDS = 0.05
+
+    def __init__(self, jobs: int, policy: RetryPolicy) -> None:
+        self.jobs = max(1, int(jobs))
+        self.policy = policy
+
+    def run(
+        self,
+        fn: Callable,
+        items: Sequence,
+        keys: Sequence[str],
+        on_complete: Callable | None = None,
+    ) -> tuple[list, SupervisionReport]:
+        """Map with two per-cell counters kept deliberately distinct:
+
+        * ``submits`` — how often the cell was handed to a worker.  It
+          is the ``attempt`` passed to ``fn``, so a resubmitted cell
+          *always* advances its fault-plane occurrence index (a killed
+          worker forgets nothing that matters), and deliberately also
+          advances for innocents resubmitted after a pool break.
+        * ``charged`` — failures charged against the retry budget: an
+          exception raised by the cell, or a pool break attributed to
+          it (observed running / timeout-killed).  Cells queued behind
+          a crash are *not* charged — they resubmit for free.
+
+        Quarantine triggers on ``charged``, never on ``submits``.
+        """
+        report = SupervisionReport()
+        results: list = [None] * len(items)
+        submits = [0] * len(items)
+        charged = [0] * len(items)
+        pending = set(range(len(items)))
+        # Backstop: a pool that keeps breaking beyond every cell's
+        # combined retry budget is burning, not converging.
+        max_respawns = len(items) * (self.policy.retries + 1) + 1
+        while pending:
+            blamed = self._drain_one_pool(
+                fn, items, keys, results, submits, charged, pending,
+                report, on_complete,
+            )
+            if pending:
+                # The pool broke (worker SIGKILL or timeout kill).
+                report.respawns += 1
+                if report.respawns > max_respawns:
+                    for index in sorted(pending):
+                        report.quarantined.append(
+                            CellFailure(
+                                keys[index],
+                                submits[index],
+                                "process pool kept breaking (respawn budget "
+                                f"of {max_respawns} exhausted)",
+                            )
+                        )
+                    pending.clear()
+                    break
+                for index in sorted(blamed & pending):
+                    charged[index] += 1
+                    if charged[index] > self.policy.retries:
+                        report.quarantined.append(
+                            CellFailure(
+                                keys[index],
+                                submits[index],
+                                "worker killed, crashed, or timed out while "
+                                "executing this cell",
+                            )
+                        )
+                        pending.discard(index)
+                    else:
+                        report.retries += 1
+        return results, report
+
+    def _drain_one_pool(
+        self,
+        fn: Callable,
+        items: Sequence,
+        keys: Sequence[str],
+        results: list,
+        submits: list,
+        charged: list,
+        pending: set,
+        report: SupervisionReport,
+        on_complete: Callable | None,
+    ) -> set:
+        """Run one pool until everything pending finishes or it breaks.
+
+        Returns the set of indices to *blame* for a break (observed
+        running, or deliberately timeout-killed); an empty set with
+        ``pending`` drained means the pool completed cleanly.
+        """
+        workers = min(self.jobs, max(1, len(pending)))
+        seen_running: dict[int, float] = {}
+        timed_out: set[int] = set()
+        futures: dict = {}
+        retry_at: dict[int, float] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+        def submit(index: int) -> None:
+            submits[index] += 1
+            futures[pool.submit(fn, items[index], submits[index])] = index
+
+        try:
+            for index in sorted(pending):
+                submit(index)
+            while futures or retry_at:
+                now = time.monotonic()
+                for index, ready in sorted(retry_at.items()):
+                    if ready <= now:
+                        del retry_at[index]
+                        submit(index)
+                if not futures:
+                    if retry_at:
+                        time.sleep(max(0.0, min(retry_at.values()) - now))
+                    continue
+                done, _ = wait(
+                    futures, timeout=self.POLL_SECONDS,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                for future, index in futures.items():
+                    if future not in done and future.running():
+                        seen_running.setdefault(index, now)
+                if self.policy.timeout:
+                    for future, index in futures.items():
+                        if future in done or index not in seen_running:
+                            continue
+                        if now - seen_running[index] > self.policy.timeout:
+                            timed_out.add(index)
+                    if timed_out:
+                        # The only way to preempt a running cell is to
+                        # kill its worker; that breaks the pool, so the
+                        # caller respawns and resubmits the innocents.
+                        report.timeouts += len(timed_out & pending)
+                        self._kill_workers(pool)
+                        return timed_out
+                for future in done:
+                    index = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        blamed = {
+                            i for f, i in futures.items()
+                            if i in seen_running and not f.done()
+                        }
+                        blamed |= {index} if index in seen_running else set()
+                        return blamed
+                    except Exception as exc:  # cell failed inside a live worker
+                        charged[index] += 1
+                        if charged[index] > self.policy.retries:
+                            report.quarantined.append(
+                                CellFailure(keys[index], submits[index], repr(exc))
+                            )
+                            pending.discard(index)
+                        else:
+                            report.retries += 1
+                            retry_at[index] = now + backoff_delay(
+                                self.policy.seed, keys[index],
+                                charged[index], self.policy.backoff,
+                            )
+                        continue
+                    results[index] = result
+                    pending.discard(index)
+                    seen_running.pop(index, None)
+                    if on_complete is not None:
+                        on_complete(index, result, submits[index])
+            return set()
+        except BrokenProcessPool:
+            # Raised at submit time when the pool died between drains.
+            return {i for i in seen_running if i in pending}
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _kill_workers(pool: ProcessPoolExecutor) -> None:
+        """Forcibly kill every pool worker (private API, best effort).
+
+        ``ProcessPoolExecutor`` has no public preemption; killing the
+        workers marks the pool broken, which the supervisor treats
+        exactly like a crashed worker — respawn and resubmit.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except (OSError, AttributeError):
+                pass

@@ -75,6 +75,24 @@ class ExperimentConfig:
         Extra machine names appended to the scaling/ranks/trace grids —
         the way ingested machines become first-class grid citizens.
         Names must be registered (built-in or via ``machine_specs``).
+    faults:
+        Fault-injection spec string (``"seed=7,kill=0.3,torn=0.2"``;
+        see :class:`repro.exec.faults.FaultPlan`).  Execution-only by
+        contract: an injected fault may make a cell *fail and retry*,
+        never change what a successful cell computes — the chaos suite
+        asserts byte-identity against fault-free runs.
+    cell_retries / cell_timeout / retry_backoff:
+        Per-cell supervision budget (see :mod:`repro.exec.supervise`):
+        retries after the first attempt, per-attempt wall-clock seconds
+        (0 disables) and the base backoff delay.  Execution-only.
+    resume:
+        Consult the study checkpoint (:mod:`repro.exec.checkpoint`)
+        before scheduling, skipping cells a crashed run already
+        finished.  Execution-only.
+
+    All six resilience knobs are deliberately outside
+    :meth:`pipeline_config`, so they never enter the cache fingerprint:
+    a chaos run and a fault-free run address the *same* cells.
     """
 
     thread_counts: tuple[int, ...] = (1, 2, 4, 8)
@@ -90,6 +108,11 @@ class ExperimentConfig:
     trace_tile_size: int = 1 << 20
     machine_specs: tuple[str, ...] = ()
     machines: tuple[str, ...] = ()
+    faults: str = ""
+    cell_retries: int = 2
+    cell_timeout: float = 0.0
+    retry_backoff: float = 0.05
+    resume: bool = False
 
     def pipeline_config(self) -> PipelineConfig:
         """The per-configuration pipeline parameters."""

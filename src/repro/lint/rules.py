@@ -1,4 +1,4 @@
-"""The built-in invariant rules, ``RPR101``–``RPR106``.
+"""The built-in invariant rules, ``RPR101``–``RPR107``.
 
 Each rule guards one invariant the test suite can only defend
 point-wise; the docstrings below are rendered verbatim into the docs
@@ -26,6 +26,7 @@ __all__ = [
     "StageContractRule",
     "AsyncHygieneRule",
     "RegistryDriftRule",
+    "ExceptionSwallowRule",
     "KERNEL_PACKAGES",
 ]
 
@@ -888,3 +889,86 @@ class RegistryDriftRule(LintRule):
                     candidate = f"{base}.{alias.name}" if base else alias.name
                     if candidate in project.by_name:
                         yield candidate
+
+
+# --------------------------------------------------------------- RPR107
+@register_rule
+class ExceptionSwallowRule(LintRule):
+    """The resilience layers must never swallow exceptions silently.
+
+    ``repro.exec`` and ``repro.serve`` are exactly the packages whose
+    job is to *handle* failure: supervised retries, torn-write
+    self-heals, journal replay.  A handler there that catches
+    everything and does nothing — ``except: pass`` — doesn't handle a
+    failure, it deletes the evidence: a quarantine that should have
+    fired becomes a silent wrong answer, a corrupt container becomes a
+    cache entry nobody knows is gone.  Broad handlers are fine when
+    they *act* (retry, record a heal counter, convert to a typed
+    failure, re-raise); they are flagged when they only discard.
+
+    Flags, inside ``repro.exec`` and ``repro.serve``:
+
+    * a bare ``except:`` whose body contains no ``raise`` — bare
+      handlers catch ``KeyboardInterrupt``/``SystemExit`` too, so
+      anything short of re-raising also eats shutdown requests;
+    * ``except Exception`` / ``except BaseException`` (alone or in a
+      tuple) whose body is only ``pass``, ``...``, or a docstring —
+      i.e. the handler observes nothing and records nothing.
+
+    Narrow handlers (``except OSError: pass`` on a best-effort cleanup
+    path) are deliberate degradation, not swallowing, and are not
+    flagged.  The one sanctioned broad swallow — ``__del__`` guards,
+    where raising during GC is worse than silence — is grandfathered in
+    ``lint-baseline.json``.
+    """
+
+    name = "RPR107"
+    title = "no silently swallowed exceptions in repro.exec / repro.serve"
+    severity = "error"
+    packages = ("repro.exec", "repro.serve")
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                if not any(
+                    isinstance(child, ast.Raise) for child in ast.walk(node)
+                ):
+                    yield module.finding(
+                        self.name,
+                        node,
+                        "bare except without re-raise swallows every "
+                        "exception (KeyboardInterrupt included); catch the "
+                        "expected types, or act and re-raise",
+                    )
+            elif self._is_broad(node.type) and self._body_is_inert(node.body):
+                yield module.finding(
+                    self.name,
+                    node,
+                    "broad exception handler whose body only discards; a "
+                    "resilience layer must act on failure — retry, record "
+                    "a heal/fault counter, or narrow the caught types",
+                )
+
+    @classmethod
+    def _is_broad(cls, type_node: ast.expr) -> bool:
+        if isinstance(type_node, ast.Tuple):
+            return any(cls._is_broad(element) for element in type_node.elts)
+        name = dotted_name(type_node)
+        return name is not None and name.split(".")[-1] in cls._BROAD
+
+    @staticmethod
+    def _body_is_inert(body: list[ast.stmt]) -> bool:
+        """True when every statement is pass / ``...`` / a docstring."""
+        for statement in body:
+            if isinstance(statement, ast.Pass):
+                continue
+            if isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Constant
+            ):
+                continue  # docstring or Ellipsis
+            return False
+        return True

@@ -146,6 +146,21 @@ def _client_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--port", type=int, default=DEFAULT_PORT, help="daemon port"
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="retries on connection errors / 429 / 503, honouring "
+        "Retry-After (default 3; 0 disables)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-request socket timeout (default 60)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     submit = sub.add_parser("submit", help="POST one study cell")
@@ -182,7 +197,12 @@ def client_main(argv: list[str] | None = None) -> int:
     from repro.serve.client import ServeClient, ServeError
 
     args = _client_parser().parse_args(argv)
-    client = ServeClient(args.host, args.port)
+    client = ServeClient(
+        args.host,
+        args.port,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+    )
     try:
         if args.command == "submit":
             try:

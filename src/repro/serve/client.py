@@ -5,6 +5,13 @@ benchmark measures request latency, not TCP handshakes — and re-dials
 transparently when the server closed it (drain, stream responses).
 Thread-safety is per-instance: give each thread its own client, exactly
 like ``http.client`` itself.
+
+Requests retry automatically (``max_retries``, default 3) on connection
+errors and on 429/503 answers, honouring the server's ``Retry-After``
+header when present and otherwise backing off exponentially with
+deterministic jitter.  Retrying a POST is safe here: cells are
+content-addressed, so re-POSTing a submission lands on the same digest
+and coalesces with (or warm-hits) the original execution.
 """
 
 from __future__ import annotations
@@ -12,9 +19,11 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from typing import Iterator
 
 from repro.api.service import CellStatus, CellSubmission, ServerStatus
+from repro.exec.faults import backoff_delay
 
 __all__ = ["ServeClient", "ServeError", "RateLimited"]
 
@@ -22,29 +31,41 @@ __all__ = ["ServeClient", "ServeError", "RateLimited"]
 class ServeError(RuntimeError):
     """A non-2xx answer from the serve daemon."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, retry_after: float = 0.0
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        #: Server-suggested backoff (``Retry-After``), 0 when absent.
+        self.retry_after = retry_after
 
 
 class RateLimited(ServeError):
     """A 429 answer; ``retry_after`` is the server's suggested backoff."""
 
     def __init__(self, message: str, retry_after: float) -> None:
-        super().__init__(429, message)
-        self.retry_after = retry_after
+        super().__init__(429, message, retry_after=retry_after)
 
 
 class ServeClient:
     """Typed access to one serve daemon."""
 
+    #: Base/ceiling for the jittered retry backoff (seconds).
+    RETRY_BASE = 0.1
+    RETRY_CAP = 5.0
+
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8177, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8177,
+        timeout: float = 60.0,
+        max_retries: int = 3,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.max_retries = max(0, int(max_retries))
         self._conn: http.client.HTTPConnection | None = None
 
     # ---------------------------------------------------------------- plumbing
@@ -68,6 +89,39 @@ class ServeClient:
         self.close()
 
     def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        """One API call with capped, jittered retries.
+
+        Retried: connection-level failures (server restarted — the
+        re-POST is idempotent by digest) and 429/503 answers.  Other
+        HTTP errors (404, 400, 500) are the server's final word and
+        raise immediately.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServeError as exc:
+                if exc.status not in (429, 503) or attempt >= self.max_retries:
+                    raise
+                delay = exc.retry_after or backoff_delay(
+                    0, f"{method} {path}", attempt + 1,
+                    self.RETRY_BASE, cap=self.RETRY_CAP,
+                )
+            except (http.client.HTTPException, OSError):
+                # Covers ConnectionError and socket.timeout too.
+                self.close()
+                if attempt >= self.max_retries:
+                    raise
+                delay = backoff_delay(
+                    0, f"{method} {path}", attempt + 1,
+                    self.RETRY_BASE, cap=self.RETRY_CAP,
+                )
+            attempt += 1
+            time.sleep(min(max(0.0, delay), self.RETRY_CAP))
+
+    def _request_once(
         self, method: str, path: str, body: dict | None = None
     ) -> tuple[int, dict]:
         payload = json.dumps(body).encode() if body is not None else None
@@ -96,12 +150,14 @@ class ServeClient:
             decoded = {"error": data.decode("utf-8", "replace")}
         if response.getheader("Connection", "").lower() == "close":
             self.close()
+        retry_after = float(response.getheader("Retry-After", "0") or 0)
         if response.status == 429:
-            retry_after = float(response.getheader("Retry-After", "0") or 0)
             raise RateLimited(decoded.get("error", "rate limited"), retry_after)
         if response.status >= 400:
             raise ServeError(
-                response.status, decoded.get("error", f"status {response.status}")
+                response.status,
+                decoded.get("error", f"status {response.status}"),
+                retry_after=retry_after,
             )
         return response.status, decoded
 

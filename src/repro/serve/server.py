@@ -45,6 +45,7 @@ from repro.exec.stagestore import stage_store_for
 from repro.exec.store import StudyStore, cache_version
 from repro.experiments.config import SCALES, default_config
 from repro.serve.coalesce import Coalescer
+from repro.serve.journal import ServeJournal
 from repro.serve.protocol import (
     HttpError,
     HttpRequest,
@@ -113,7 +114,8 @@ class ReproServer:
             scale: StudyStore(cache_dir, config)
             for scale, config in self.configs.items()
         }
-        self.coalescer = Coalescer()
+        self.journal = ServeJournal(cache_dir)
+        self.coalescer = Coalescer(journal=self.journal)
         self.limiter = RateLimiter(rate, burst)
         self.evictor = StoreEvictor(cache_dir, budget_bytes)
 
@@ -129,6 +131,10 @@ class ReproServer:
             "evicted_files": 0,
             "evicted_bytes": 0,
             "eviction_skipped_open": 0,
+            "journal_replayed": 0,
+            "journal_healed_bytes": 0,
+            "journal_compactions": 0,
+            "rehydrated": 0,
         }
         self._server: asyncio.AbstractServer | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -138,11 +144,35 @@ class ReproServer:
         self._stopped = asyncio.Event()
 
     # ------------------------------------------------------------ lifecycle
+    def _replay_journal(self) -> None:
+        """Restore terminal cell records from the restart journal.
+
+        Only ``done`` digests are restored (failed and in-flight cells
+        must re-execute); the records carry no payload — hydration from
+        the store happens lazily on first hit, so replaying a large
+        journal costs no disk reads.
+        """
+        from repro.api.service import CellSubmission, SubmissionError
+
+        for digest, record in self.journal.terminal_records().items():
+            if record.get("type") != "done":
+                continue
+            try:
+                submission = CellSubmission.from_json(record.get("submission", {}))
+            except (SubmissionError, TypeError, AttributeError):
+                continue  # journal written by an older schema: skip
+            self.coalescer.restore(
+                digest, submission, record.get("source"), record.get("seconds")
+            )
+            self.counters["journal_replayed"] += 1
+        self.counters["journal_healed_bytes"] += self.journal.healed_bytes
+
     async def start(self) -> None:
         """Bind the listener and start the background loops."""
         self._executor = ThreadPoolExecutor(
             max_workers=self.jobs, thread_name_prefix="repro-serve"
         )
+        self._replay_journal()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -198,6 +228,12 @@ class ReproServer:
             if not self._connections:
                 break
             await asyncio.sleep(0.01)
+        # Drain-aware compaction: with no execution in flight the table
+        # is stable, so the journal shrinks to one summary frame per
+        # completed cell before the process exits.
+        self.journal.compact(self.coalescer.records())
+        self.journal.close()
+        self.counters["journal_compactions"] += 1
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
         self._stopped.set()
@@ -351,6 +387,15 @@ class ReproServer:
         config, store, study_request, digest = self._lower(submission)
 
         record = self.coalescer.get(digest)
+        if (
+            record is not None
+            and record.state == "done"
+            and not await self._hydrate(record)
+        ):
+            # Journal-restored record whose payload left the store
+            # (evicted, or an uncacheable kind): re-execute fresh.
+            self.coalescer.forget(digest)
+            record = None
         if record is not None and record.state != "failed":
             if record.done:
                 self.counters["warm_memo"] += 1
@@ -431,6 +476,26 @@ class ReproServer:
                     record.publish({"event": "progress", "stages": active})
         return work.result()
 
+    async def _hydrate(self, record) -> bool:
+        """Lazily reattach a journal-restored record's payload.
+
+        Restored records carry only metadata; the first hit mmaps the
+        store container by digest.  Returns False when no store holds
+        the payload anymore (the caller forgets the record).
+        """
+        if record.result is not None or record.state != "done":
+            return True
+        loop = asyncio.get_running_loop()
+        for store in self.stores.values():
+            payload = await loop.run_in_executor(
+                self._executor, store.load_by_digest, record.digest
+            )
+            if payload is not None:
+                record.result = payload
+                self.counters["rehydrated"] += 1
+                return True
+        return False
+
     def _cell_body(self, record, include_result: bool = False) -> dict:
         body = record.status().to_json()
         if include_result and record.result is not None:
@@ -447,6 +512,9 @@ class ReproServer:
             if record.state == "failed":
                 return 500, self._cell_body(record)
             if record.done:
+                if not await self._hydrate(record):
+                    self.coalescer.forget(digest)
+                    raise HttpError(404, f"unknown cell digest {digest[:16]}...")
                 self.counters["warm_memo"] += 1
                 return 200, self._cell_body(record, include_result=True)
             return 202, self._cell_body(record)
@@ -503,12 +571,18 @@ class ReproServer:
             stage_cache={
                 "hits": stats.get("hits", {}),
                 "misses": stats.get("misses", {}),
+                # Self-heal observability: corrupt-entry recoveries
+                # (torn containers, tiles, JSON entries, journal tails)
+                # and — during chaos runs — injected-fault firings.
+                "heals": stats.get("heals", {}),
+                "faults": stats.get("faults", {}),
             },
             store={
                 "files": len(entries),
                 "bytes": sum(entry.nbytes for entry in entries),
                 "shards": len(shards),
                 "budget_bytes": self.evictor.budget_bytes,
+                "journal_bytes": self.journal.size(),
             },
         )
         return 200, status.to_json()

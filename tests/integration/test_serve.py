@@ -49,8 +49,8 @@ class DaemonHandle:
         self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
         self.thread.start()
 
-    def client(self) -> ServeClient:
-        return ServeClient("127.0.0.1", self.port)
+    def client(self, **kwargs) -> ServeClient:
+        return ServeClient("127.0.0.1", self.port, **kwargs)
 
     def run(self, coro, timeout: float = 30.0):
         return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout)
@@ -280,7 +280,9 @@ class TestRateLimitAndEviction:
         handle = DaemonHandle(str(tmp_path / "cache"), rate=5.0, burst=3.0)
         try:
             submission = _submission()
-            with handle.client() as client:
+            # max_retries=0: the default client would absorb the 429s
+            # (retry honouring Retry-After) — here we want to see one.
+            with handle.client(max_retries=0) as client:
                 client.submit(submission, wait=True)  # warm it
                 rejected = None
                 for _ in range(10):
@@ -399,3 +401,117 @@ class TestRateLimitAndEviction:
                 assert np.isclose(value, other, rtol=0, atol=0), key
             else:
                 assert value == other, key
+
+
+class TestJournalRestart:
+    """The crash-safe serve journal: restarts forget nothing terminal."""
+
+    def test_restart_replays_journal_with_warm_get_and_events(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        handle = DaemonHandle(cache)
+        try:
+            with handle.client() as client:
+                digest = client.submit(_submission(), wait=True).digest
+                warm = client.cell(digest)
+        finally:
+            handle.stop()  # graceful drain: journal compacted
+
+        fresh = DaemonHandle(cache)
+        try:
+            with fresh.client() as client:
+                body = client.cell(digest)
+                events = [e["event"] for e in client.events(digest)]
+                counters = client.status().counters
+            assert body["state"] == "done"
+            assert body["source"] == "disk"
+            assert body["result"] == warm["result"]  # rehydrated, byte-equal
+            assert counters["journal_replayed"] == 1
+            assert counters["rehydrated"] == 1
+            # /events reconnect after restart: terminal history intact,
+            # exactly one done record — nothing duplicated, nothing lost.
+            assert events[0] == "queued"
+            assert events.count("done") == 1
+            assert events[-1] == "done"
+        finally:
+            fresh.stop()
+
+    def test_compaction_folds_journal_to_terminal_summaries(self, tmp_path):
+        from pathlib import Path
+
+        from repro.serve.journal import JOURNAL_NAME
+        from repro.util.recordlog import RecordLog
+
+        cache = str(tmp_path / "cache")
+        handle = DaemonHandle(cache)
+        try:
+            with handle.client() as client:
+                client.submit(_submission(), wait=True)
+                client.submit(_submission(app="MCB"), wait=True)
+        finally:
+            handle.stop()
+
+        records = RecordLog(Path(cache) / JOURNAL_NAME).replay().records
+        # Drain-aware compaction: the submitted/progress chatter is
+        # gone; one done summary per distinct terminal cell remains.
+        assert len(records) == 2
+        assert all(r["type"] == "done" for r in records)
+        assert len({r["digest"] for r in records}) == 2
+
+    def test_torn_journal_tail_heals_on_boot(self, tmp_path):
+        from pathlib import Path
+
+        from repro.serve.journal import JOURNAL_NAME
+
+        cache = str(tmp_path / "cache")
+        handle = DaemonHandle(cache)
+        try:
+            with handle.client() as client:
+                first = client.submit(_submission(), wait=True).digest
+                client.submit(_submission(app="MCB"), wait=True)
+        finally:
+            handle.stop()
+
+        journal = Path(cache) / JOURNAL_NAME
+        blob = journal.read_bytes()
+        journal.write_bytes(blob[:-3])  # crash mid-append: torn frame
+
+        fresh = DaemonHandle(cache)
+        try:
+            with fresh.client() as client:
+                counters = client.status().counters
+                body = client.cell(first)
+            # The whole torn frame is healed away, not just the 3
+            # missing bytes — a partial frame is never half-trusted.
+            assert counters["journal_healed_bytes"] > 3
+            assert counters["journal_replayed"] == 1  # torn record dropped
+            assert body["state"] == "done"  # intact record still serves
+        finally:
+            fresh.stop()
+
+    def test_restored_record_with_evicted_payload_reexecutes(self, tmp_path):
+        import shutil
+        from pathlib import Path
+
+        cache = str(tmp_path / "cache")
+        handle = DaemonHandle(cache)
+        try:
+            with handle.client() as client:
+                digest = client.submit(_submission(), wait=True).digest
+        finally:
+            handle.stop()
+
+        # Simulate eviction taking the payload but not the journal.
+        for shard in Path(cache).glob("cells*"):
+            shutil.rmtree(shard, ignore_errors=True)
+
+        fresh = DaemonHandle(cache)
+        try:
+            with fresh.client() as client:
+                body = client.submit_raw(_submission(), wait=True)
+            assert body["state"] == "done"
+            assert body["digest"] == digest
+            # Hydration missed, the record was forgotten, and the cell
+            # re-executed instead of serving a payload-less answer.
+            assert fresh.server.counters["computed"] == 1
+        finally:
+            fresh.stop()

@@ -19,7 +19,15 @@ from repro.lint.model import Finding
 from repro.lint.registry import rule_registry
 from repro.lint.runner import REPO_ROOT, build_project, collect_files, run_lint
 
-RULE_IDS = ("RPR101", "RPR102", "RPR103", "RPR104", "RPR105", "RPR106")
+RULE_IDS = (
+    "RPR101",
+    "RPR102",
+    "RPR103",
+    "RPR104",
+    "RPR105",
+    "RPR106",
+    "RPR107",
+)
 
 
 def make_tree(tmp_path, files):
@@ -341,6 +349,76 @@ class TestRPR106RegistryDrift:
         assert findings_of("RPR106", project) == []
 
 
+class TestRPR107ExceptionSwallow:
+    def test_flags_bare_except_and_inert_broad_handlers(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "src/repro/exec/v.py": """\
+                def f():
+                    try:
+                        risky()
+                    except:
+                        cleanup()
+
+                def g():
+                    try:
+                        risky()
+                    except Exception:
+                        pass
+
+                def h():
+                    try:
+                        risky()
+                    except (ValueError, BaseException):
+                        ...
+                """
+            },
+        )
+        found = findings_of("RPR107", project)
+        assert len(found) == 3
+        assert all(f.rule == "RPR107" for f in found)
+
+    def test_acting_broad_and_narrow_handlers_pass(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                # Broad handlers that retry/record/re-raise are the
+                # whole point of the resilience layers — not flagged.
+                "src/repro/exec/ok.py": """\
+                def retry():
+                    try:
+                        risky()
+                    except Exception as exc:
+                        record(exc)
+                        raise
+
+                def bare_but_reraises():
+                    try:
+                        risky()
+                    except:
+                        cleanup()
+                        raise
+
+                def narrow_degrade():
+                    try:
+                        risky()
+                    except OSError:
+                        pass
+                """,
+                # Out of scope: the rule only covers exec/serve.
+                "src/repro/util/ok.py": """\
+                def f():
+                    try:
+                        risky()
+                    except Exception:
+                        pass
+                """,
+            },
+        )
+        assert findings_of("RPR107", project) == []
+
+
 class TestSuppression:
     def test_line_pragma_suppresses_one_finding(self, tmp_path):
         root = make_tree(
@@ -507,6 +585,15 @@ _SEEDED_VIOLATIONS = {
             "class V:\n"
             "    name = 'v'\n"
         ),
+    },
+    "RPR107": {
+        "src/repro/exec/v.py": (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
     },
 }
 
